@@ -1,0 +1,64 @@
+//! Criterion end-to-end benchmark: one client request serviced under
+//! each interposition mode — the per-request view of Table 2.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsu::{DsuApp, StepOutcome};
+use mve::VariantOs;
+use vos::VirtualKernel;
+use workload::LineClient;
+
+fn serve(
+    kernel: Arc<VirtualKernel>,
+    mut app: Box<dyn DsuApp>,
+    native: bool,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        if native {
+            let mut os = vos::DirectOs::new(kernel);
+            while !stop.load(Ordering::Relaxed) {
+                if let StepOutcome::Shutdown = app.step(&mut os) {
+                    break;
+                }
+            }
+        } else {
+            let mut os = VariantOs::single(0, kernel, None);
+            while !stop.load(Ordering::Relaxed) {
+                if let StepOutcome::Shutdown = app.step(&mut os) {
+                    break;
+                }
+            }
+        }
+    })
+}
+
+fn bench_request(c: &mut Criterion) {
+    let mut g = c.benchmark_group("request");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for (label, native) in [("kvstore_native", true), ("kvstore_varan1", false)] {
+        let kernel = VirtualKernel::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let app = Box::new(servers::kvstore::KvV1::new(4100));
+        let handle = serve(kernel.clone(), app, native, stop.clone());
+        let mut client =
+            LineClient::connect_retry(kernel, 4100, Duration::from_secs(5)).unwrap();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                client.send_line("PUT k v").unwrap();
+                client.recv_line().unwrap()
+            })
+        });
+        stop.store(true, Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_request);
+criterion_main!(benches);

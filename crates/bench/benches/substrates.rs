@@ -1,0 +1,156 @@
+//! Criterion microbenchmarks of the substrate hot paths: the ring
+//! buffer, the rewrite-rule engine, the syscall projection, and the
+//! virtual kernel's data path. These quantify the per-syscall costs
+//! that Table 2's overheads are made of.
+
+
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+/// Keep the whole suite quick: these are relative-cost probes, not
+/// absolute measurements.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+use dsl::{Builtins, Event, RuleSet, Value};
+use mve::{syscall_event, EventRecord, SyscallRecord};
+use ring::Ring;
+use vos::{SysRet, Syscall, VirtualKernel};
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop", |b| {
+        let ring: Ring<u64> = Ring::with_capacity(1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            ring.push(i).unwrap();
+            i += 1;
+            ring.pop(None).unwrap()
+        });
+    });
+    g.bench_function("push_pop_record", |b| {
+        let ring: Ring<EventRecord> = Ring::with_capacity(1024);
+        let record = EventRecord::Syscall {
+            seq: 1,
+            record: SyscallRecord {
+                call: Syscall::Write {
+                    fd: vos::Fd::from_raw(9),
+                    data: b"+OK\r\n".to_vec(),
+                },
+                ret: SysRet::Size(5),
+            },
+        };
+        b.iter_batched(
+            || record.clone(),
+            |r| {
+                ring.push(r).unwrap();
+                ring.pop(None).unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_dsl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dsl");
+    let rules = RuleSet::parse(
+        r#"
+        rule put_typed {
+            on read(fd, s, n)
+            when starts_with(s, "PUT-")
+            => read(fd, "bad-cmd", 7)
+        }
+    "#,
+    )
+    .unwrap();
+    let builtins = Builtins::standard();
+    let hit = Event::new(
+        "read",
+        vec![
+            Value::Int(9),
+            Value::Str("PUT-number balance 100".into()),
+            Value::Int(22),
+        ],
+    );
+    let miss = Event::new(
+        "read",
+        vec![Value::Int(9), Value::Str("GET balance".into()), Value::Int(11)],
+    );
+    g.bench_function("apply_hit", |b| {
+        b.iter(|| rules.apply(std::slice::from_ref(&hit), &builtins).unwrap())
+    });
+    g.bench_function("apply_miss_identity", |b| {
+        b.iter(|| rules.apply(std::slice::from_ref(&miss), &builtins).unwrap())
+    });
+    g.bench_function("parse_ruleset", |b| {
+        b.iter(|| {
+            RuleSet::parse(
+                r#"rule r { on read(fd, s, n) when len(s) > 3 => read(fd, s, n) }"#,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let call = Syscall::Read {
+        fd: vos::Fd::from_raw(9),
+        max: 4096,
+    };
+    let ret = SysRet::Data(b"GET key:123\r\n".to_vec());
+    c.bench_function("project_syscall_event", |b| {
+        b.iter(|| syscall_event(&call, &ret))
+    });
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vos");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("write_read_roundtrip", |b| {
+        let kernel = VirtualKernel::new();
+        let l = kernel.listen(5000).unwrap();
+        let client = kernel.connect(5000).unwrap();
+        let server = kernel.accept(l).unwrap();
+        let payload = [7u8; 64];
+        b.iter(|| {
+            kernel.client_send(client, &payload).unwrap();
+            kernel.read(server, 64, None).unwrap()
+        });
+    });
+    g.bench_function("clock_now", |b| {
+        let kernel = VirtualKernel::new();
+        b.iter(|| kernel.now_nanos())
+    });
+    g.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    // The MVEDSUA fork cost: deep-cloning server state.
+    let mut g = c.benchmark_group("fork_snapshot");
+    for entries in [1_000u64, 10_000] {
+        let mut state = servers::redis::RedisState::new(1);
+        for i in 0..entries {
+            state.store.set(&format!("key:{i}"), "valuevaluevalue");
+        }
+        let app_state = dsu::AppState::new(state);
+        g.bench_function(format!("redis_{entries}_entries"), |b| {
+            b.iter(|| app_state.clone())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_ring, bench_dsl, bench_projection, bench_kernel, bench_snapshot
+}
+criterion_main!(benches);

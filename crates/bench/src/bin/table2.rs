@@ -1,0 +1,71 @@
+//! Regenerates Table 2: steady-state throughput and overhead of every
+//! execution mode over the four server workloads.
+//!
+//! ```text
+//! cargo run -p mvedsua-bench --bin table2 --release -- --secs 3
+//! ```
+//!
+//! Expected *shape* (the substrate is a virtual kernel, not the paper's
+//! Xeon testbed, so absolute numbers differ): Kitsune and the
+//! single-leader modes cost single-digit percent; the paired modes cost
+//! tens of percent; the lockstep (MUC/Mx-like) baselines cost the most.
+
+use bench_support::{overhead_pct, run_cell, BenchOpts, Mode, Server};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = BenchOpts::from_args(&args);
+    eprintln!(
+        "table2: {}s per cell, {} clients, large file {} MiB",
+        opts.secs,
+        opts.clients,
+        opts.large_file_len / (1024 * 1024)
+    );
+
+    println!(
+        "{:<10} {:>14} {:>6} {:>14} {:>6} {:>14} {:>6} {:>14} {:>6}",
+        "Version",
+        "Memcached o/s",
+        "ovh%",
+        "Redis o/s",
+        "ovh%",
+        "Vsftpd-S o/s",
+        "ovh%",
+        "Vsftpd-L o/s",
+        "ovh%"
+    );
+
+    let mut native: Vec<f64> = Vec::new();
+    for mode in Mode::ALL {
+        let mut cells = Vec::new();
+        for (i, server) in Server::ALL.iter().enumerate() {
+            let report = run_cell(*server, mode, &opts);
+            let tput = report.throughput();
+            let ovh = if mode == Mode::Native {
+                0.0
+            } else {
+                overhead_pct(native[i], tput)
+            };
+            cells.push((tput, ovh));
+            eprintln!("  {:<10} {:<13} {}", mode.name(), server.name(), report.summary());
+        }
+        if mode == Mode::Native {
+            native = cells.iter().map(|(t, _)| *t).collect();
+        }
+        println!(
+            "{:<10} {:>14.0} {:>5.0}% {:>14.0} {:>5.0}% {:>14.1} {:>5.0}% {:>14.1} {:>5.0}%",
+            mode.name(),
+            cells[0].0,
+            cells[0].1,
+            cells[1].0,
+            cells[1].1,
+            cells[2].0,
+            cells[2].1,
+            cells[3].0,
+            cells[3].1,
+        );
+    }
+    println!();
+    println!("paper (Table 2): Kitsune 0-3%; Varan-1 2-8%; Mvedsua-1 3-9%;");
+    println!("                 Varan-2 24-50%; Mvedsua-2 25-52%; MUC 23-87%; Mx 3-16x");
+}

@@ -1,0 +1,799 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver};
+use dsl::RuleSet;
+use dsu::{Version, VersionRegistry};
+use mve::{LockstepMode, Notice, NoticeKind, VariantOs};
+use parking_lot::Mutex;
+use vos::VirtualKernel;
+
+use crate::error::MvedsuaError;
+use crate::package::UpdatePackage;
+use crate::runner::{run_variant, ForkJob, Shared};
+use crate::stage::{Stage, Timeline, TimelineEntry, TimelineEvent};
+
+/// Tunables of an MVEDSUA session.
+#[derive(Clone, Copy, Debug)]
+pub struct MvedsuaConfig {
+    /// Ring-buffer capacity in records (the paper's default is 256; its
+    /// Figure 7 sweeps 2^10, 2^20, 2^24).
+    pub ring_capacity: usize,
+    /// Run the updated-leader stage (t5–t6) with reverse rules. `false`
+    /// bypasses it: promotion immediately retires the old version, as
+    /// the paper permits when reverse mappings are impractical (§3.2)
+    /// and as its update-time experiment configures (§6.1).
+    pub monitor_after_promote: bool,
+    /// Leader/follower synchronization; `Some` models the MUC and Mx
+    /// baselines instead of Varan's decoupled design.
+    pub lockstep: Option<LockstepMode>,
+}
+
+impl Default for MvedsuaConfig {
+    fn default() -> Self {
+        MvedsuaConfig {
+            ring_capacity: 256,
+            monitor_after_promote: true,
+            lockstep: None,
+        }
+    }
+}
+
+/// Final report of a session: the full timeline and closing stage.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    pub entries: Vec<TimelineEntry>,
+    pub final_stage: Stage,
+}
+
+impl SessionReport {
+    /// Renders the timeline as human-readable text (milliseconds since
+    /// kernel boot).
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for entry in &self.entries {
+            let ms = entry.at_nanos as f64 / 1e6;
+            let _ = writeln!(out, "[{ms:10.3} ms] {:?}", entry.event);
+        }
+        let _ = writeln!(out, "final stage: {}", self.final_stage);
+        out
+    }
+
+    /// Convenience: does the timeline contain an event matching `pred`?
+    pub fn contains(&self, mut pred: impl FnMut(&TimelineEvent) -> bool) -> bool {
+        self.entries.iter().any(|e| pred(&e.event))
+    }
+}
+
+/// A running MVEDSUA session: one application, one virtual kernel, and
+/// the update lifecycle of the paper's Figure 2. See the crate docs.
+pub struct Mvedsua {
+    shared: Arc<Shared>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+impl Mvedsua {
+    /// Boots `initial` in single-leader mode and starts serving.
+    ///
+    /// # Errors
+    /// [`MvedsuaError::Dsu`] if the version is not in the registry.
+    pub fn launch(
+        kernel: Arc<VirtualKernel>,
+        registry: Arc<VersionRegistry>,
+        initial: Version,
+        config: MvedsuaConfig,
+    ) -> Result<Mvedsua, MvedsuaError> {
+        install_quiet_panic_hook();
+        let app = registry.boot(&initial)?;
+        let timeline = Arc::new(Timeline::new(kernel.clone()));
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(Shared {
+            kernel: kernel.clone(),
+            registry,
+            timeline: timeline.clone(),
+            config,
+            stop: AtomicBool::new(false),
+            fork_slot: Mutex::new(None),
+            threads: Mutex::new(Vec::new()),
+            rings: Mutex::new(Vec::new()),
+            promote_action: Mutex::new(None),
+            active_update: Mutex::new(None),
+            versions: Mutex::new(HashMap::from([(0, initial.clone())])),
+            leader_version: Mutex::new(initial.clone()),
+            next_variant: AtomicU32::new(1),
+            notices: Mutex::new(Some(tx.clone())),
+        });
+        timeline.record(TimelineEvent::Launched {
+            version: initial.clone(),
+        });
+        let os = VariantOs::single(0, kernel, Some(tx));
+
+        let runner_shared = shared.clone();
+        let runner = std::thread::Builder::new()
+            .name("mvedsua-variant-0".to_string())
+            .spawn(move || run_variant(runner_shared, app, os))
+            .expect("spawn variant runner");
+        shared.threads.lock().push(runner);
+
+        let monitor_shared = shared.clone();
+        let monitor = std::thread::Builder::new()
+            .name("mvedsua-monitor".to_string())
+            .spawn(move || monitor_notices(monitor_shared, rx))
+            .expect("spawn notice monitor");
+
+        Ok(Mvedsua {
+            shared,
+            monitor: Some(monitor),
+        })
+    }
+
+    /// The kernel clients connect through.
+    pub fn kernel(&self) -> Arc<VirtualKernel> {
+        self.shared.kernel.clone()
+    }
+
+    /// The shared, waitable event log.
+    pub fn timeline(&self) -> Arc<Timeline> {
+        self.shared.timeline.clone()
+    }
+
+    /// Current lifecycle stage.
+    pub fn stage(&self) -> Stage {
+        self.shared.timeline.stage()
+    }
+
+    /// The version currently *leading* (serving clients).
+    pub fn active_version(&self) -> Version {
+        self.shared.leader_version.lock().clone()
+    }
+
+    /// Ring-buffer statistics of the in-flight update, if any (occupancy
+    /// high-water mark and leader stall time — Figure 7's quantities).
+    pub fn update_ring_stats(&self) -> Option<ring::RingStats> {
+        self.shared
+            .active_update
+            .lock()
+            .as_ref()
+            .map(|a| a.ring_a.stats())
+    }
+
+    /// Queues a dynamic update (paper t1): at the leader's next quiescent
+    /// update point it forks, applies the update to the forked follower,
+    /// and starts monitoring. Returns as soon as the request is queued.
+    ///
+    /// # Errors
+    /// `WrongStage` unless in single-leader stage; `BadRules` if the DSL
+    /// sources do not parse; `Dsu` if no update path exists.
+    pub fn request_update(&self, package: UpdatePackage) -> Result<(), MvedsuaError> {
+        let stage = self.stage();
+        if stage != Stage::SingleLeader {
+            return Err(MvedsuaError::WrongStage {
+                operation: "request an update",
+                stage: stage.to_string(),
+            });
+        }
+        let fwd_rules = parse_rules(&package.fwd_rules)?;
+        let rev_rules = parse_rules(&package.rev_rules)?;
+        if package.transformer_override.is_none() {
+            let from = self.active_version();
+            self.shared.registry.update_spec(&from, &package.to)?;
+        }
+        self.shared
+            .timeline
+            .record(TimelineEvent::UpdateRequested {
+                to: package.to.clone(),
+            });
+        let mut slot = self.shared.fork_slot.lock();
+        if slot.is_some() {
+            return Err(MvedsuaError::Dsu(dsu::UpdateError::UpdateInProgress));
+        }
+        *slot = Some(ForkJob {
+            package,
+            fwd_rules: Arc::new(fwd_rules),
+            rev_rules: Arc::new(rev_rules),
+            attempts: 0,
+        });
+        Ok(())
+    }
+
+    /// Requests an update and monitors it for `warmup`: returns `Ok`
+    /// only if the update forked, completed on the follower, and
+    /// survived the window without a rollback.
+    ///
+    /// # Errors
+    /// `UpdateDidNotStart` for timing errors (retryable — the paper §6.2
+    /// retried after 500 ms until success), `RolledBack` with the
+    /// recorded reason when monitoring killed the update.
+    pub fn update_monitored(
+        &self,
+        package: UpdatePackage,
+        warmup: Duration,
+    ) -> Result<(), MvedsuaError> {
+        let timeline = self.timeline();
+        let base = timeline.len();
+        self.request_update(package)?;
+        let started = timeline.wait_for(Duration::from_secs(30), |entries| {
+            entries[base..].iter().any(|e| {
+                matches!(
+                    e.event,
+                    TimelineEvent::Forked { .. } | TimelineEvent::UpdateAbandoned
+                )
+            })
+        });
+        let aborted = |entries: &[TimelineEntry]| {
+            entries[base..]
+                .iter()
+                .any(|e| matches!(e.event, TimelineEvent::UpdateAbandoned))
+        };
+        if !started || aborted(&timeline.entries()) {
+            // Make sure no half-queued job lingers.
+            self.shared.fork_slot.lock().take();
+            return Err(MvedsuaError::UpdateDidNotStart);
+        }
+        let rolled_back = timeline.wait_for(warmup, |entries| {
+            entries[base..]
+                .iter()
+                .any(|e| matches!(e.event, TimelineEvent::RolledBack))
+        });
+        if rolled_back {
+            let reason = timeline.entries()[base..]
+                .iter()
+                .filter_map(|e| match &e.event {
+                    TimelineEvent::Diverged { description, .. } => Some(description.clone()),
+                    TimelineEvent::Crashed { message, .. } => Some(format!("crash: {message}")),
+                    TimelineEvent::UpdateFailed { reason } => Some(reason.clone()),
+                    _ => None,
+                })
+                .next_back()
+                .unwrap_or_else(|| "unknown".to_string());
+            return Err(MvedsuaError::RolledBack(reason));
+        }
+        Ok(())
+    }
+
+    /// Promotes the updated version (paper t4): the current leader
+    /// appends a demotion marker and becomes the follower (or retires,
+    /// when the updated-leader stage is bypassed); the updated version
+    /// takes over as leader once it drains the backlog (t5).
+    ///
+    /// # Errors
+    /// `WrongStage` unless an update is being monitored.
+    pub fn promote(&self) -> Result<(), MvedsuaError> {
+        let stage = self.stage();
+        if stage != Stage::OutdatedLeader {
+            return Err(MvedsuaError::WrongStage {
+                operation: "promote",
+                stage: stage.to_string(),
+            });
+        }
+        let action = self.shared.promote_action.lock().take().ok_or(
+            MvedsuaError::WrongStage {
+                operation: "promote",
+                stage: stage.to_string(),
+            },
+        )?;
+        self.shared.timeline.record(TimelineEvent::PromoteRequested);
+        *action.slot.lock() = Some(action.config);
+        Ok(())
+    }
+
+    /// Commits the update (paper t6): terminates the outdated follower
+    /// and returns to single-leader mode.
+    ///
+    /// # Errors
+    /// `WrongStage` while the old version still leads — promote (or roll
+    /// back) first.
+    pub fn finalize(&self) -> Result<(), MvedsuaError> {
+        let stage = self.stage();
+        if matches!(stage, Stage::OutdatedLeader) {
+            return Err(MvedsuaError::WrongStage {
+                operation: "finalize",
+                stage: stage.to_string(),
+            });
+        }
+        let Some(active) = self.shared.active_update.lock().take() else {
+            return Err(MvedsuaError::WrongStage {
+                operation: "finalize",
+                stage: stage.to_string(),
+            });
+        };
+        if let Some(ring_b) = active.ring_b {
+            ring_b.poison();
+        }
+        Ok(())
+    }
+
+    /// Aborts a monitored update (operator-initiated rollback): the
+    /// follower is terminated, the leader reverts to single mode, and —
+    /// since the leader processed every request natively — no state is
+    /// lost.
+    ///
+    /// # Errors
+    /// `WrongStage` unless in the outdated-leader stage.
+    pub fn rollback(&self) -> Result<(), MvedsuaError> {
+        let stage = self.stage();
+        if stage != Stage::OutdatedLeader {
+            return Err(MvedsuaError::WrongStage {
+                operation: "roll back",
+                stage: stage.to_string(),
+            });
+        }
+        let Some(active) = self.shared.active_update.lock().take() else {
+            return Err(MvedsuaError::WrongStage {
+                operation: "roll back",
+                stage: stage.to_string(),
+            });
+        };
+        *self.shared.promote_action.lock() = None;
+        active.ring_a.poison();
+        self.shared.timeline.set_stage(Stage::SingleLeader);
+        self.shared.timeline.record(TimelineEvent::RolledBack);
+        Ok(())
+    }
+
+    /// Stops everything and returns the session report. Idempotent with
+    /// respect to already-dead variants.
+    pub fn shutdown(self) -> SessionReport {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.fork_slot.lock().take();
+        self.shared.timeline.record(TimelineEvent::SessionShutdown);
+        self.shared.poison_all_rings();
+        loop {
+            let handle = self.shared.threads.lock().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        // Dropping the last sender lets the monitor thread drain and exit.
+        self.shared.notices.lock().take();
+        if let Some(monitor) = self.monitor {
+            let _ = monitor.join();
+        }
+        SessionReport {
+            entries: self.shared.timeline.entries(),
+            final_stage: self.shared.timeline.stage(),
+        }
+    }
+}
+
+impl fmt::Debug for Mvedsua {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mvedsua")
+            .field("stage", &self.stage())
+            .field("active_version", &self.active_version().to_string())
+            .finish()
+    }
+}
+
+/// Variant retirement and divergence travel as typed panics
+/// ([`mve::RetiredSignal`]); they are protocol, not bugs, so the default
+/// hook's backtrace spam is suppressed for them (once, process-wide).
+fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if mve::RetiredSignal::from_payload(info.payload()).is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn parse_rules(src: &str) -> Result<RuleSet, MvedsuaError> {
+    if src.trim().is_empty() {
+        Ok(RuleSet::empty())
+    } else {
+        RuleSet::parse(src).map_err(|e| MvedsuaError::BadRules(e.to_string()))
+    }
+}
+
+/// Translates variant role-transition notices into stage changes and
+/// leader-version tracking.
+fn monitor_notices(shared: Arc<Shared>, rx: Receiver<Notice>) {
+    let set_leader = |variant: u32| {
+        if let Some(version) = shared.versions.lock().get(&variant) {
+            *shared.leader_version.lock() = version.clone();
+        }
+    };
+    for notice in rx {
+        match notice.kind {
+            NoticeKind::Demoted => {
+                shared.timeline.record(TimelineEvent::Demoted {
+                    variant: notice.variant,
+                });
+                shared.timeline.set_stage(Stage::Switching);
+            }
+            NoticeKind::BecameLeader => {
+                shared.timeline.record(TimelineEvent::Promoted {
+                    variant: notice.variant,
+                });
+                set_leader(notice.variant);
+                shared.timeline.set_stage(Stage::UpdatedLeader);
+            }
+            NoticeKind::BecameSingle => {
+                shared.timeline.record(TimelineEvent::BecameSingle {
+                    variant: notice.variant,
+                });
+                // Staleness guard: after a rollback, the old leader's
+                // BecameSingle (from its next failed push) can arrive
+                // *after* a fresh update has already forked. Only honor
+                // the notice when no update is being monitored, or when
+                // it is the monitored follower itself taking over
+                // (leader-crash promotion / bypassed promotion).
+                let mut active = shared.active_update.lock();
+                let promoted = match active.as_ref() {
+                    None => {
+                        set_leader(notice.variant);
+                        shared.timeline.set_stage(Stage::SingleLeader);
+                        false
+                    }
+                    Some(a) if a.follower_id == notice.variant => {
+                        *active = None;
+                        set_leader(notice.variant);
+                        shared.timeline.set_stage(Stage::SingleLeader);
+                        true
+                    }
+                    Some(_) => {
+                        // A previous era's leader reporting in; ignore.
+                        false
+                    }
+                };
+                drop(active);
+                if promoted {
+                    *shared.promote_action.lock() = None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsu::{AppState, DsuApp, IdentityTransformer, StepOutcome, UpdateError, UpdateSpec,
+              VersionEntry};
+    use std::sync::Arc;
+    use vos::Os;
+
+    /// A minimal DSU app whose only syscall traffic is `now()`; enough
+    /// to drive the whole lifecycle without network plumbing (the full
+    /// server lifecycles are exercised in the workspace-level
+    /// integration tests).
+    struct Ticker {
+        version: Version,
+        ticks: u64,
+        crash_at: Option<u64>,
+    }
+
+    impl DsuApp for Ticker {
+        fn version(&self) -> &Version {
+            &self.version
+        }
+
+        fn step(&mut self, os: &mut dyn Os) -> StepOutcome {
+            let _ = os.now();
+            self.ticks += 1;
+            if Some(self.ticks) == self.crash_at {
+                panic!("ticker crashed at {}", self.ticks);
+            }
+            // Pace the loop so tests don't spin a core flat out.
+            std::thread::sleep(Duration::from_micros(200));
+            StepOutcome::Progress
+        }
+
+        fn snapshot(&self) -> AppState {
+            AppState::new(self.ticks)
+        }
+
+        fn into_state(self: Box<Self>) -> AppState {
+            AppState::new(self.ticks)
+        }
+    }
+
+    fn registry(crash_v2_at: Option<u64>) -> Arc<VersionRegistry> {
+        let mut r = VersionRegistry::new();
+        r.register_version(VersionEntry::new(
+            dsu::v("1.0"),
+            || {
+                Box::new(Ticker {
+                    version: dsu::v("1.0"),
+                    ticks: 0,
+                    crash_at: None,
+                })
+            },
+            |state| {
+                Ok(Box::new(Ticker {
+                    version: dsu::v("1.0"),
+                    ticks: state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                    crash_at: None,
+                }))
+            },
+        ));
+        r.register_version(VersionEntry::new(
+            dsu::v("2.0"),
+            move || {
+                Box::new(Ticker {
+                    version: dsu::v("2.0"),
+                    ticks: 0,
+                    crash_at: crash_v2_at,
+                })
+            },
+            move |state| {
+                Ok(Box::new(Ticker {
+                    version: dsu::v("2.0"),
+                    ticks: state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                    crash_at: crash_v2_at,
+                }))
+            },
+        ));
+        r.register_update(UpdateSpec::new("1.0", "2.0", Arc::new(IdentityTransformer)));
+        Arc::new(r)
+    }
+
+    #[test]
+    fn full_lifecycle_update_promote_finalize() {
+        let session = Mvedsua::launch(
+            VirtualKernel::new(),
+            registry(None),
+            dsu::v("1.0"),
+            MvedsuaConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(session.stage(), Stage::SingleLeader);
+        assert_eq!(session.active_version(), dsu::v("1.0"));
+
+        session
+            .update_monitored(UpdatePackage::new(dsu::v("2.0")), Duration::from_millis(100))
+            .unwrap();
+        assert_eq!(session.stage(), Stage::OutdatedLeader);
+        assert_eq!(session.active_version(), dsu::v("1.0"), "old version leads");
+
+        session.promote().unwrap();
+        assert!(session
+            .timeline()
+            .wait_for_stage(Stage::UpdatedLeader, Duration::from_secs(5)));
+        assert_eq!(session.active_version(), dsu::v("2.0"));
+
+        session.finalize().unwrap();
+        assert!(session
+            .timeline()
+            .wait_for_stage(Stage::SingleLeader, Duration::from_secs(5)));
+        assert!(session.timeline().wait_for(Duration::from_secs(5), |es| {
+            es.iter()
+                .any(|e| matches!(e.event, TimelineEvent::Retired { .. }))
+        }));
+
+        let report = session.shutdown();
+        assert!(report.contains(|e| matches!(e, TimelineEvent::Forked { .. })));
+        assert!(report.contains(|e| matches!(e, TimelineEvent::UpdateCompleted { .. })));
+        assert!(report.contains(|e| matches!(e, TimelineEvent::Promoted { .. })));
+        assert!(report.contains(|e| matches!(e, TimelineEvent::Retired { .. })));
+        assert!(!report.contains(|e| matches!(e, TimelineEvent::RolledBack)));
+        let text = report.render();
+        assert!(text.contains("final stage"), "{text}");
+    }
+
+    #[test]
+    fn operator_rollback_reverts_to_old_version() {
+        let session = Mvedsua::launch(
+            VirtualKernel::new(),
+            registry(None),
+            dsu::v("1.0"),
+            MvedsuaConfig::default(),
+        )
+        .unwrap();
+        session
+            .update_monitored(UpdatePackage::new(dsu::v("2.0")), Duration::from_millis(50))
+            .unwrap();
+        session.rollback().unwrap();
+        assert_eq!(session.stage(), Stage::SingleLeader);
+        assert_eq!(session.active_version(), dsu::v("1.0"));
+        // The terminated follower notices the poisoned ring and retires.
+        assert!(session.timeline().wait_for(Duration::from_secs(5), |es| {
+            es.iter()
+                .any(|e| matches!(e.event, TimelineEvent::Retired { .. }))
+        }));
+        let report = session.shutdown();
+        assert!(report.contains(|e| matches!(e, TimelineEvent::RolledBack)));
+    }
+
+    #[test]
+    fn follower_crash_rolls_back_automatically() {
+        // v2 crashes shortly after it starts replaying.
+        let session = Mvedsua::launch(
+            VirtualKernel::new(),
+            registry(Some(20)),
+            dsu::v("1.0"),
+            MvedsuaConfig::default(),
+        )
+        .unwrap();
+        let err = session
+            .update_monitored(UpdatePackage::new(dsu::v("2.0")), Duration::from_secs(5))
+            .unwrap_err();
+        match err {
+            MvedsuaError::RolledBack(reason) => {
+                assert!(reason.contains("crash"), "{reason}")
+            }
+            other => panic!("expected rollback, got {other}"),
+        }
+        // Old version still serving.
+        assert!(session
+            .timeline()
+            .wait_for_stage(Stage::SingleLeader, Duration::from_secs(5)));
+        assert_eq!(session.active_version(), dsu::v("1.0"));
+        session.shutdown();
+    }
+
+    #[test]
+    fn failed_transformer_rolls_back_before_new_version_runs() {
+        let session = Mvedsua::launch(
+            VirtualKernel::new(),
+            registry(None),
+            dsu::v("1.0"),
+            MvedsuaConfig::default(),
+        )
+        .unwrap();
+        let package = UpdatePackage::new(dsu::v("2.0")).with_transformer(Arc::new(
+            dsu::FnTransformer::new("always fails", |_| {
+                Err(UpdateError::XformFailed("injected xform bug".into()))
+            }),
+        ));
+        let err = session
+            .update_monitored(package, Duration::from_secs(5))
+            .unwrap_err();
+        match err {
+            MvedsuaError::RolledBack(reason) => assert!(reason.contains("injected"), "{reason}"),
+            other => panic!("expected rollback, got {other}"),
+        }
+        assert_eq!(session.active_version(), dsu::v("1.0"));
+        session.shutdown();
+    }
+
+    #[test]
+    fn wrong_stage_operations_are_rejected() {
+        let session = Mvedsua::launch(
+            VirtualKernel::new(),
+            registry(None),
+            dsu::v("1.0"),
+            MvedsuaConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            session.promote().unwrap_err(),
+            MvedsuaError::WrongStage { .. }
+        ));
+        assert!(matches!(
+            session.rollback().unwrap_err(),
+            MvedsuaError::WrongStage { .. }
+        ));
+        assert!(matches!(
+            session.finalize().unwrap_err(),
+            MvedsuaError::WrongStage { .. }
+        ));
+        // Updating to an unknown path is caught up front.
+        assert!(matches!(
+            session.request_update(UpdatePackage::new(dsu::v("9.9"))),
+            Err(MvedsuaError::Dsu(UpdateError::NoUpdatePath { .. }))
+        ));
+        // Malformed rules are caught up front.
+        assert!(matches!(
+            session.request_update(UpdatePackage::new(dsu::v("2.0")).with_fwd_rules("rule {")),
+            Err(MvedsuaError::BadRules(_))
+        ));
+        session.shutdown();
+    }
+
+    #[test]
+    fn second_update_while_monitoring_is_rejected() {
+        let session = Mvedsua::launch(
+            VirtualKernel::new(),
+            registry(None),
+            dsu::v("1.0"),
+            MvedsuaConfig::default(),
+        )
+        .unwrap();
+        session
+            .update_monitored(UpdatePackage::new(dsu::v("2.0")), Duration::from_millis(50))
+            .unwrap();
+        assert!(matches!(
+            session.request_update(UpdatePackage::new(dsu::v("2.0"))),
+            Err(MvedsuaError::WrongStage { .. })
+        ));
+        session.shutdown();
+    }
+
+    #[test]
+    fn never_quiescent_app_abandons_the_update() {
+        // The paper's timing error at the controller level: an app that
+        // never reaches a safe point exhausts the quiescence budget and
+        // the update is abandoned, retryable.
+        struct Busy {
+            version: Version,
+        }
+        impl dsu::DsuApp for Busy {
+            fn version(&self) -> &Version {
+                &self.version
+            }
+            fn step(&mut self, os: &mut dyn vos::Os) -> dsu::StepOutcome {
+                let _ = os.now();
+                std::thread::sleep(Duration::from_micros(100));
+                dsu::StepOutcome::Progress
+            }
+            fn snapshot(&self) -> AppState {
+                AppState::new(())
+            }
+            fn into_state(self: Box<Self>) -> AppState {
+                AppState::new(())
+            }
+            fn quiescent(&self) -> bool {
+                false // e.g. a lock held across every update point
+            }
+        }
+        let mut r = VersionRegistry::new();
+        r.register_version(VersionEntry::new(
+            dsu::v("1.0"),
+            || {
+                Box::new(Busy {
+                    version: dsu::v("1.0"),
+                })
+            },
+            |_| {
+                Ok(Box::new(Busy {
+                    version: dsu::v("1.0"),
+                }))
+            },
+        ));
+        r.register_update(UpdateSpec::new("1.0", "1.0", Arc::new(IdentityTransformer)));
+        let session = Mvedsua::launch(
+            VirtualKernel::new(),
+            Arc::new(r),
+            dsu::v("1.0"),
+            MvedsuaConfig::default(),
+        )
+        .unwrap();
+        let package = UpdatePackage::new(dsu::v("1.0")).with_max_quiesce_attempts(5);
+        let err = session
+            .update_monitored(package, Duration::from_secs(5))
+            .unwrap_err();
+        assert!(matches!(err, MvedsuaError::UpdateDidNotStart), "{err}");
+        // The session is healthy and a new request is accepted.
+        assert_eq!(session.stage(), Stage::SingleLeader);
+        session
+            .request_update(UpdatePackage::new(dsu::v("1.0")))
+            .unwrap();
+        session.shutdown();
+    }
+
+    #[test]
+    fn bypassing_updated_leader_stage_retires_old_version_at_promote() {
+        let config = MvedsuaConfig {
+            monitor_after_promote: false,
+            ..MvedsuaConfig::default()
+        };
+        let session =
+            Mvedsua::launch(VirtualKernel::new(), registry(None), dsu::v("1.0"), config).unwrap();
+        session
+            .update_monitored(UpdatePackage::new(dsu::v("2.0")), Duration::from_millis(50))
+            .unwrap();
+        session.promote().unwrap();
+        assert!(session
+            .timeline()
+            .wait_for_stage(Stage::SingleLeader, Duration::from_secs(5)));
+        assert_eq!(session.active_version(), dsu::v("2.0"));
+        assert!(session.timeline().wait_for(Duration::from_secs(5), |es| {
+            es.iter()
+                .any(|e| matches!(e.event, TimelineEvent::Retired { variant: 0 }))
+        }));
+        let report = session.shutdown();
+        assert!(report.contains(|e| matches!(e, TimelineEvent::Demoted { .. })));
+    }
+}

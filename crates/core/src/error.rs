@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+use dsu::UpdateError;
+
+/// Failures of the MVEDSUA controller API.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum MvedsuaError {
+    /// The operation is not valid in the current stage (e.g. requesting
+    /// an update while one is already being monitored).
+    WrongStage { operation: &'static str, stage: String },
+    /// The update's DSL rules did not parse.
+    BadRules(String),
+    /// A DSU-level failure (unknown version, no update path, ...).
+    Dsu(UpdateError),
+    /// The session is already shut down.
+    Terminated,
+    /// The update did not reach the monitored state within the deadline
+    /// (abandoned as a timing error, or the fork never happened).
+    UpdateDidNotStart,
+    /// The update was rolled back during the monitoring window; the
+    /// reason recorded on the timeline is attached.
+    RolledBack(String),
+}
+
+impl fmt::Display for MvedsuaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvedsuaError::WrongStage { operation, stage } => {
+                write!(f, "cannot {operation} during the {stage} stage")
+            }
+            MvedsuaError::BadRules(m) => write!(f, "rewrite rules failed to parse: {m}"),
+            MvedsuaError::Dsu(e) => write!(f, "{e}"),
+            MvedsuaError::Terminated => write!(f, "session already shut down"),
+            MvedsuaError::UpdateDidNotStart => write!(f, "update never reached the fork point"),
+            MvedsuaError::RolledBack(reason) => write!(f, "update rolled back: {reason}"),
+        }
+    }
+}
+
+impl Error for MvedsuaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MvedsuaError::Dsu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UpdateError> for MvedsuaError {
+    fn from(e: UpdateError) -> Self {
+        MvedsuaError::Dsu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MvedsuaError::from(UpdateError::NotQuiescent);
+        assert!(e.to_string().contains("quiesce"));
+        assert!(Error::source(&e).is_some());
+        let w = MvedsuaError::WrongStage {
+            operation: "promote",
+            stage: "single-leader".into(),
+        };
+        assert!(w.to_string().contains("promote"));
+    }
+}

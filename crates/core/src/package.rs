@@ -1,0 +1,120 @@
+use std::fmt;
+use std::sync::Arc;
+
+use dsl::Builtins;
+use dsu::{StateTransformer, Version};
+
+/// Everything an operator ships with one dynamic update, bundling the
+/// DSU side (target version; the transformer itself lives in the
+/// [`dsu::VersionRegistry`]) with the MVE side (the rewrite rules of
+/// §3.3 and the builtins they call).
+#[derive(Clone)]
+pub struct UpdatePackage {
+    /// Target version; the source is whatever currently leads.
+    pub to: Version,
+    /// Rules for the outdated-leader stage: map old-leader events to the
+    /// sequences the updated follower is expected to produce. Empty
+    /// source means no rules (most Vsftpd pairs need at most one).
+    pub fwd_rules: String,
+    /// Rules for the updated-leader stage (the reverse mapping).
+    pub rev_rules: String,
+    /// Functions callable from the rules (`parse`, ...).
+    pub builtins: Arc<Builtins>,
+    /// Replaces the registry's transformer for this update — how the
+    /// fault-injection experiments plant state-transformation bugs
+    /// without perturbing the registry.
+    pub transformer_override: Option<Arc<dyn StateTransformer>>,
+    /// Skip the leader's `reset_ephemeral` callback at fork, reproducing
+    /// the paper's LibEvent timing error (§5.3/§6.2).
+    pub skip_ephemeral_reset: bool,
+    /// Update points that may refuse (non-quiescent) before the request
+    /// is abandoned.
+    pub max_quiesce_attempts: u32,
+}
+
+impl UpdatePackage {
+    /// A rule-less, fault-free package targeting `to`.
+    pub fn new(to: impl Into<Version>) -> Self {
+        UpdatePackage {
+            to: to.into(),
+            fwd_rules: String::new(),
+            rev_rules: String::new(),
+            builtins: Arc::new(Builtins::standard()),
+            transformer_override: None,
+            skip_ephemeral_reset: false,
+            max_quiesce_attempts: 1000,
+        }
+    }
+
+    /// Sets the outdated-leader-stage rules.
+    pub fn with_fwd_rules(mut self, src: impl Into<String>) -> Self {
+        self.fwd_rules = src.into();
+        self
+    }
+
+    /// Sets the updated-leader-stage rules.
+    pub fn with_rev_rules(mut self, src: impl Into<String>) -> Self {
+        self.rev_rules = src.into();
+        self
+    }
+
+    /// Sets the rule builtins.
+    pub fn with_builtins(mut self, builtins: Arc<Builtins>) -> Self {
+        self.builtins = builtins;
+        self
+    }
+
+    /// Overrides the state transformer (fault injection).
+    pub fn with_transformer(mut self, t: Arc<dyn StateTransformer>) -> Self {
+        self.transformer_override = Some(t);
+        self
+    }
+
+    /// Skips the leader's ephemeral-state reset (fault injection).
+    pub fn with_skipped_ephemeral_reset(mut self) -> Self {
+        self.skip_ephemeral_reset = true;
+        self
+    }
+
+    /// Caps the quiescence retries.
+    pub fn with_max_quiesce_attempts(mut self, n: u32) -> Self {
+        self.max_quiesce_attempts = n;
+        self
+    }
+}
+
+impl fmt::Debug for UpdatePackage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UpdatePackage")
+            .field("to", &self.to.as_str())
+            .field("fwd_rules_len", &self.fwd_rules.len())
+            .field("rev_rules_len", &self.rev_rules.len())
+            .field("transformer_override", &self.transformer_override.is_some())
+            .field("skip_ephemeral_reset", &self.skip_ephemeral_reset)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsu::{v, IdentityTransformer};
+
+    #[test]
+    fn builder_chains() {
+        let p = UpdatePackage::new(v("2.0"))
+            .with_fwd_rules("rule r { on f() => nothing }")
+            .with_rev_rules("rule s { on g() => nothing }")
+            .with_transformer(Arc::new(IdentityTransformer))
+            .with_skipped_ephemeral_reset()
+            .with_max_quiesce_attempts(3);
+        assert_eq!(p.to, v("2.0"));
+        assert!(!p.fwd_rules.is_empty());
+        assert!(!p.rev_rules.is_empty());
+        assert!(p.transformer_override.is_some());
+        assert!(p.skip_ephemeral_reset);
+        assert_eq!(p.max_quiesce_attempts, 3);
+        let dbg = format!("{p:?}");
+        assert!(dbg.contains("2.0"), "{dbg}");
+    }
+}

@@ -1,0 +1,150 @@
+use std::fmt;
+
+use crate::value::Value;
+
+/// A parsed rule file: an ordered list of rules. Order matters — the
+/// engine applies the first rule that matches, like the paper's DSL.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    pub rules: Vec<RuleDef>,
+}
+
+/// One rewrite rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleDef {
+    pub name: String,
+    /// Sequence of event patterns matched against the leader window.
+    pub patterns: Vec<Pattern>,
+    /// Optional guard; the rule fires only when it evaluates to `true`.
+    pub guard: Option<Block>,
+    /// Replacement events (empty means the match is deleted).
+    pub templates: Vec<Template>,
+    pub line: u32,
+}
+
+/// `name(arg, arg, ...)` on the left of `=>`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pattern {
+    pub event: String,
+    pub args: Vec<PatArg>,
+    pub line: u32,
+}
+
+/// One pattern argument.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PatArg {
+    /// `_` — matches anything, binds nothing.
+    Wildcard,
+    /// `x` — matches anything, binds it. A repeated binder must match an
+    /// equal value (non-linear patterns), which is how Figure 5's rule
+    /// ties the `fd` of the read to the `fd` of the write.
+    Bind(String),
+    /// A literal that must compare equal.
+    Lit(Value),
+}
+
+/// `{ let lhs = expr; ... expr }` or a bare expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    pub lets: Vec<(LetLhs, Expr)>,
+    pub value: Expr,
+}
+
+/// Destructuring left-hand side of a `let`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LetLhs {
+    Var(String),
+    Wildcard,
+    Tuple(Vec<LetLhs>),
+}
+
+/// `name(expr, expr, ...)` on the right of `=>`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Template {
+    pub event: String,
+    pub args: Vec<Expr>,
+    pub line: u32,
+}
+
+/// Binary operators, in the usual precedence groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+        })
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Lit(Value),
+    Var(String, u32),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Builtin call `f(a, b)`.
+    Call(String, Vec<Expr>, u32),
+    /// Indexing `e[i]` into lists, tuples, and strings.
+    Index(Box<Expr>, Box<Expr>),
+    /// Tuple constructor `(a, b)` (arity >= 2).
+    Tuple(Vec<Expr>),
+    /// List constructor `[a, b, c]`.
+    List(Vec<Expr>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_display() {
+        assert_eq!(BinOp::Add.to_string(), "+");
+        assert_eq!(BinOp::Or.to_string(), "||");
+    }
+
+    #[test]
+    fn ast_nodes_are_comparable() {
+        let a = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Lit(Value::Int(1))),
+            Box::new(Expr::Lit(Value::Int(2))),
+        );
+        assert_eq!(a, a.clone());
+    }
+}

@@ -1,0 +1,508 @@
+use crate::ast::{PatArg, Pattern, Program, RuleDef, Template};
+use crate::error::DslError;
+use crate::eval::{eval_block, eval_expr, Builtins, Env};
+use crate::event::Event;
+use crate::parser::parse_program;
+
+/// The result of applying a rule set to the front of an event window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleOutcome {
+    /// How many input events were consumed.
+    pub consumed: usize,
+    /// The replacement events (identical to the input when no rule
+    /// fired).
+    pub emitted: Vec<Event>,
+    /// Name of the rule that fired, if any.
+    pub rule: Option<String>,
+}
+
+/// A compiled, ordered set of rewrite rules.
+///
+/// The engine transforms the *leader's* event stream into the stream the
+/// *follower* is expected to produce (paper §3.3: during the
+/// outdated-leader stage, rules force the new version to adhere to the
+/// old version's behavior; during the updated-leader stage, a reverse
+/// rule set does the opposite).
+///
+/// Application is greedy and ordered: the first rule whose pattern
+/// sequence matches the front of the window — and whose guard holds —
+/// fires. When none fires, the front event passes through unchanged.
+#[derive(Clone, Debug)]
+pub struct RuleSet {
+    rules: Vec<RuleDef>,
+}
+
+impl RuleSet {
+    /// An empty rule set (identity transformation).
+    pub fn empty() -> Self {
+        RuleSet { rules: Vec::new() }
+    }
+
+    /// Parses rule source text.
+    ///
+    /// # Errors
+    /// Propagates lexer/parser failures.
+    pub fn parse(src: &str) -> Result<Self, DslError> {
+        Ok(RuleSet {
+            rules: parse_program(src)?.rules,
+        })
+    }
+
+    /// Wraps an already-parsed program.
+    pub fn from_program(program: Program) -> Self {
+        RuleSet {
+            rules: program.rules,
+        }
+    }
+
+    /// Number of rules (what the paper's Table 1 counts).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are present.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Rule names, in application order.
+    pub fn names(&self) -> Vec<&str> {
+        self.rules.iter().map(|r| r.name.as_str()).collect()
+    }
+
+    /// The longest pattern sequence: how many leader events the engine
+    /// needs to peek ahead before it can decide.
+    pub fn max_window(&self) -> usize {
+        self.rules
+            .iter()
+            .map(|r| r.patterns.len())
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// True when some rule *longer* than the current window matches it as
+    /// a prefix (ignoring guards): the caller should wait for more leader
+    /// events before deciding, instead of letting a shorter rule or the
+    /// identity fire prematurely.
+    pub fn could_extend(&self, window: &[Event]) -> bool {
+        if window.is_empty() {
+            return false;
+        }
+        self.rules.iter().any(|rule| {
+            rule.patterns.len() > window.len()
+                && match_patterns(&rule.patterns[..window.len()], window).is_some()
+        })
+    }
+
+    /// Applies the first matching rule to the front of `window`.
+    ///
+    /// `window` should hold at least [`RuleSet::max_window`] events when
+    /// that many are available; a shorter window simply can't match the
+    /// longer rules (correct at end-of-stream).
+    ///
+    /// # Errors
+    /// Guard or template evaluation failures (update-spec bugs — the MVE
+    /// layer treats them as divergences). An empty window is an error.
+    pub fn apply(&self, window: &[Event], builtins: &Builtins) -> Result<RuleOutcome, DslError> {
+        let first = window
+            .first()
+            .ok_or_else(|| DslError::new("cannot apply rules to an empty window"))?;
+        for rule in &self.rules {
+            if rule.patterns.len() > window.len() {
+                continue;
+            }
+            let Some(env) = match_patterns(&rule.patterns, &window[..rule.patterns.len()]) else {
+                continue;
+            };
+            if let Some(guard) = &rule.guard {
+                let v = eval_block(guard, &env, builtins).map_err(|e| e.in_rule(&rule.name))?;
+                if !v.as_bool().map_err(|e| e.in_rule(&rule.name))? {
+                    continue;
+                }
+            }
+            let mut emitted = Vec::with_capacity(rule.templates.len());
+            for t in &rule.templates {
+                emitted.push(instantiate(t, &env, builtins).map_err(|e| e.in_rule(&rule.name))?);
+            }
+            return Ok(RuleOutcome {
+                consumed: rule.patterns.len(),
+                emitted,
+                rule: Some(rule.name.clone()),
+            });
+        }
+        Ok(RuleOutcome {
+            consumed: 1,
+            emitted: vec![first.clone()],
+            rule: None,
+        })
+    }
+}
+
+fn match_patterns(patterns: &[Pattern], events: &[Event]) -> Option<Env> {
+    debug_assert_eq!(patterns.len(), events.len());
+    let mut env = Env::new();
+    for (p, e) in patterns.iter().zip(events) {
+        if p.event != e.name || p.args.len() != e.args.len() {
+            return None;
+        }
+        for (pa, ev) in p.args.iter().zip(&e.args) {
+            match pa {
+                PatArg::Wildcard => {}
+                PatArg::Lit(lit) => {
+                    if lit != ev {
+                        return None;
+                    }
+                }
+                PatArg::Bind(name) => match env.get(name) {
+                    // Non-linear patterns: a repeated binder must see an
+                    // equal value (ties Figure 5's read fd to its write).
+                    Some(existing) => {
+                        if existing != ev {
+                            return None;
+                        }
+                    }
+                    None => env.set(name, ev.clone()),
+                },
+            }
+        }
+    }
+    Some(env)
+}
+
+fn instantiate(t: &Template, env: &Env, builtins: &Builtins) -> Result<Event, DslError> {
+    let mut args = Vec::with_capacity(t.args.len());
+    for a in &t.args {
+        args.push(eval_expr(a, env, builtins)?);
+    }
+    Ok(Event::new(t.event.clone(), args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn ev(name: &str, args: Vec<Value>) -> Event {
+        Event::new(name, args)
+    }
+
+    fn kv_builtins() -> Builtins {
+        let mut b = Builtins::standard();
+        // parse("PUT balance 100")        -> ("PUT", nil, "balance", "100")
+        // parse("PUT-number balance 100") -> ("PUT", "number", "balance", "100")
+        b.register("parse", |args| {
+            let s = match &args[0] {
+                Value::Str(s) => s.trim_end(),
+                _ => return Err("parse: expected string".into()),
+            };
+            let mut parts = s.split_whitespace();
+            let head = parts.next().unwrap_or("");
+            let (cmd, typ) = match head.split_once('-') {
+                Some((c, t)) => (c.to_string(), Value::Str(t.to_string())),
+                None => (head.to_string(), Value::Nil),
+            };
+            Ok(Value::Tuple(vec![
+                Value::Str(cmd),
+                typ,
+                parts
+                    .next()
+                    .map(|p| Value::Str(p.into()))
+                    .unwrap_or(Value::Nil),
+                parts
+                    .next()
+                    .map(|p| Value::Str(p.into()))
+                    .unwrap_or(Value::Nil),
+            ]))
+        });
+        b
+    }
+
+    /// Figure 4, Rule 1: a typed PUT seen by the (old-version) leader is
+    /// turned into an invalid command for the (new-version) follower.
+    const RULE1: &str = r#"
+        rule put_typed_to_bad_cmd {
+            on read(fd, s, n)
+            when {
+                let (cmd, typ, _, _) = parse(s);
+                cmd == "PUT" && typ != nil
+            }
+            => read(fd, "bad-cmd", 7)
+        }
+    "#;
+
+    /// Figure 4, Rule 2: plain PUT maps to PUT-string (new version
+    /// dropped the bare form).
+    const RULE2: &str = r#"
+        rule put_untyped_to_string {
+            on read(fd, s, n)
+            when {
+                let (cmd, typ, key, val) = parse(s);
+                cmd == "PUT" && typ == nil
+            }
+            => read(fd, "PUT-string " + split(s, " ")[1] + " " + split(s, " ")[2], n + 7)
+        }
+    "#;
+
+    #[test]
+    fn figure4_rule1_rewrites_typed_put() {
+        let rules = RuleSet::parse(RULE1).unwrap();
+        let b = kv_builtins();
+        let input = ev(
+            "read",
+            vec![
+                Value::Int(4),
+                Value::Str("PUT-number balance 100".into()),
+                Value::Int(22),
+            ],
+        );
+        let out = rules.apply(&[input], &b).unwrap();
+        assert_eq!(out.rule.as_deref(), Some("put_typed_to_bad_cmd"));
+        assert_eq!(out.consumed, 1);
+        assert_eq!(
+            out.emitted,
+            vec![ev(
+                "read",
+                vec![Value::Int(4), Value::Str("bad-cmd".into()), Value::Int(7)]
+            )]
+        );
+    }
+
+    #[test]
+    fn figure4_rule1_passes_plain_put_through() {
+        let rules = RuleSet::parse(RULE1).unwrap();
+        let b = kv_builtins();
+        let input = ev(
+            "read",
+            vec![
+                Value::Int(4),
+                Value::Str("PUT balance 100".into()),
+                Value::Int(15),
+            ],
+        );
+        let out = rules.apply(std::slice::from_ref(&input), &b).unwrap();
+        assert_eq!(out.rule, None);
+        assert_eq!(out.emitted, vec![input]);
+    }
+
+    #[test]
+    fn figure4_rule2_rewrites_plain_put() {
+        let rules = RuleSet::parse(RULE2).unwrap();
+        let b = kv_builtins();
+        let input = ev(
+            "read",
+            vec![
+                Value::Int(4),
+                Value::Str("PUT balance 100".into()),
+                Value::Int(15),
+            ],
+        );
+        let out = rules.apply(&[input], &b).unwrap();
+        assert_eq!(
+            out.emitted[0].args[1],
+            Value::Str("PUT-string balance 100".into())
+        );
+        assert_eq!(out.emitted[0].args[2], Value::Int(22));
+    }
+
+    #[test]
+    fn figure5_two_event_window() {
+        // Vsftpd: any command the leader rejected with 500 maps to a
+        // guaranteed-unknown command on the follower.
+        let rules = RuleSet::parse(
+            r#"
+            rule unknown_cmd {
+                on read(fd, s, n), write(fd, "500 Unknown command\r\n", m)
+                => read(fd, "FOOBAR\r\n", 8), write(fd, "500 Unknown command\r\n", m)
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(rules.max_window(), 2);
+        let b = Builtins::standard();
+        let read = ev(
+            "read",
+            vec![Value::Int(7), Value::Str("STOU f.txt\r\n".into()), Value::Int(12)],
+        );
+        let write = ev(
+            "write",
+            vec![
+                Value::Int(7),
+                Value::Str("500 Unknown command\r\n".into()),
+                Value::Int(21),
+            ],
+        );
+        let out = rules.apply(&[read.clone(), write.clone()], &b).unwrap();
+        assert_eq!(out.consumed, 2);
+        assert_eq!(out.emitted.len(), 2);
+        assert_eq!(out.emitted[0].args[1], Value::Str("FOOBAR\r\n".into()));
+        assert_eq!(out.emitted[1], write);
+    }
+
+    #[test]
+    fn nonlinear_binder_requires_equal_fds() {
+        let rules = RuleSet::parse(
+            r#"
+            rule same_fd {
+                on a(fd), b(fd)
+                => c(fd)
+            }
+        "#,
+        )
+        .unwrap();
+        let b = Builtins::standard();
+        // Different fds: no match, identity on the first event.
+        let out = rules
+            .apply(
+                &[ev("a", vec![Value::Int(1)]), ev("b", vec![Value::Int(2)])],
+                &b,
+            )
+            .unwrap();
+        assert_eq!(out.rule, None);
+        assert_eq!(out.consumed, 1);
+        // Equal fds: rule fires.
+        let out = rules
+            .apply(
+                &[ev("a", vec![Value::Int(1)]), ev("b", vec![Value::Int(1)])],
+                &b,
+            )
+            .unwrap();
+        assert_eq!(out.rule.as_deref(), Some("same_fd"));
+        assert_eq!(out.emitted, vec![ev("c", vec![Value::Int(1)])]);
+    }
+
+    #[test]
+    fn short_window_cannot_match_long_rule() {
+        let rules = RuleSet::parse("rule two { on a(), b() => nothing }").unwrap();
+        let b = Builtins::standard();
+        let out = rules.apply(&[ev("a", vec![])], &b).unwrap();
+        assert_eq!(out.rule, None, "window too short, identity applies");
+    }
+
+    #[test]
+    fn could_extend_detects_longer_prefix_matches() {
+        let rules = RuleSet::parse(
+            r#"
+            rule pair { on read(fd, s), write(fd, "500", n) => nothing }
+        "#,
+        )
+        .unwrap();
+        let read = ev("read", vec![Value::Int(1), Value::Str("x".into())]);
+        assert!(rules.could_extend(std::slice::from_ref(&read)), "pair could complete");
+        let other = ev("close", vec![Value::Int(1)]);
+        assert!(!rules.could_extend(&[other]), "no rule starts with close");
+        let write = ev(
+            "write",
+            vec![Value::Int(1), Value::Str("500".into()), Value::Int(3)],
+        );
+        assert!(
+            !rules.could_extend(&[read, write]),
+            "window already at max length"
+        );
+        assert!(!rules.could_extend(&[]));
+    }
+
+    #[test]
+    fn nothing_template_deletes_events() {
+        let rules = RuleSet::parse("rule del { on noise() => nothing }").unwrap();
+        let out = rules
+            .apply(&[ev("noise", vec![])], &Builtins::standard())
+            .unwrap();
+        assert_eq!(out.consumed, 1);
+        assert!(out.emitted.is_empty());
+    }
+
+    #[test]
+    fn rules_apply_in_order() {
+        let rules = RuleSet::parse(
+            r#"
+            rule first  { on f(x) => g(x) }
+            rule second { on f(x) => h(x) }
+        "#,
+        )
+        .unwrap();
+        let out = rules
+            .apply(&[ev("f", vec![Value::Int(1)])], &Builtins::standard())
+            .unwrap();
+        assert_eq!(out.rule.as_deref(), Some("first"));
+        assert_eq!(rules.names(), vec!["first", "second"]);
+    }
+
+    #[test]
+    fn guard_failure_falls_through_to_next_rule() {
+        let rules = RuleSet::parse(
+            r#"
+            rule only_big { on f(x) when x > 100 => big(x) }
+            rule rest     { on f(x) => small(x) }
+        "#,
+        )
+        .unwrap();
+        let out = rules
+            .apply(&[ev("f", vec![Value::Int(5)])], &Builtins::standard())
+            .unwrap();
+        assert_eq!(out.rule.as_deref(), Some("rest"));
+    }
+
+    #[test]
+    fn arity_mismatch_does_not_match() {
+        let rules = RuleSet::parse("rule r { on f(x, y) => g(x) }").unwrap();
+        let out = rules
+            .apply(&[ev("f", vec![Value::Int(1)])], &Builtins::standard())
+            .unwrap();
+        assert_eq!(out.rule, None);
+    }
+
+    #[test]
+    fn literal_pattern_arguments_filter() {
+        let rules = RuleSet::parse(r#"rule r { on f("magic", x) => g(x) }"#).unwrap();
+        let b = Builtins::standard();
+        let hit = rules
+            .apply(
+                &[ev("f", vec![Value::Str("magic".into()), Value::Int(2)])],
+                &b,
+            )
+            .unwrap();
+        assert_eq!(hit.rule.as_deref(), Some("r"));
+        let miss = rules
+            .apply(
+                &[ev("f", vec![Value::Str("other".into()), Value::Int(2)])],
+                &b,
+            )
+            .unwrap();
+        assert_eq!(miss.rule, None);
+    }
+
+    #[test]
+    fn guard_error_is_reported_with_rule_name() {
+        let rules = RuleSet::parse("rule broken { on f(x) when x / 0 == 1 => f(x) }").unwrap();
+        let err = rules
+            .apply(&[ev("f", vec![Value::Int(1)])], &Builtins::standard())
+            .unwrap_err();
+        assert_eq!(err.rule(), Some("broken"));
+    }
+
+    #[test]
+    fn empty_window_is_an_error() {
+        let rules = RuleSet::empty();
+        assert!(rules.apply(&[], &Builtins::standard()).is_err());
+    }
+
+    #[test]
+    fn empty_ruleset_is_identity() {
+        let rules = RuleSet::empty();
+        assert!(rules.is_empty());
+        assert_eq!(rules.len(), 0);
+        assert_eq!(rules.max_window(), 1);
+        let e = ev("f", vec![Value::Int(9)]);
+        let out = rules.apply(std::slice::from_ref(&e), &Builtins::standard()).unwrap();
+        assert_eq!(out.emitted, vec![e]);
+    }
+
+    #[test]
+    fn error_events_pass_through_identity() {
+        let rules = RuleSet::parse("rule r { on g() => h() }").unwrap();
+        let e = Event::with_error("read", vec![Value::Int(1)], "timed out");
+        let out = rules.apply(std::slice::from_ref(&e), &Builtins::standard()).unwrap();
+        assert_eq!(out.emitted, vec![e]);
+    }
+}

@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+/// Any failure in the DSL pipeline: lexing, parsing, or evaluation.
+///
+/// Carries a human-readable message and, where known, the source position
+/// (1-based line and column). Evaluation errors name the rule that
+/// failed — the MVE layer surfaces those as update-spec bugs, which the
+/// paper treats as a rollback trigger like any other divergence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DslError {
+    message: String,
+    line: Option<u32>,
+    col: Option<u32>,
+    rule: Option<String>,
+}
+
+impl DslError {
+    /// An error without position information.
+    pub fn new(message: impl Into<String>) -> Self {
+        DslError {
+            message: message.into(),
+            line: None,
+            col: None,
+            rule: None,
+        }
+    }
+
+    /// An error at a source position.
+    pub fn at(message: impl Into<String>, line: u32, col: u32) -> Self {
+        DslError {
+            message: message.into(),
+            line: Some(line),
+            col: Some(col),
+            rule: None,
+        }
+    }
+
+    /// Tags the error with the rule being evaluated.
+    pub fn in_rule(mut self, rule: &str) -> Self {
+        self.rule = Some(rule.to_string());
+        self
+    }
+
+    /// The bare message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Source line, if known.
+    pub fn line(&self) -> Option<u32> {
+        self.line
+    }
+
+    /// Rule name, if the error arose during rule evaluation.
+    pub fn rule(&self) -> Option<&str> {
+        self.rule.as_deref()
+    }
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(rule) = &self.rule {
+            write!(f, "in rule `{rule}`: ")?;
+        }
+        write!(f, "{}", self.message)?;
+        if let (Some(l), Some(c)) = (self.line, self.col) {
+            write!(f, " at {l}:{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for DslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_rule() {
+        let e = DslError::at("unexpected token", 3, 7).in_rule("r1");
+        let s = e.to_string();
+        assert!(s.contains("rule `r1`"), "{s}");
+        assert!(s.contains("3:7"), "{s}");
+    }
+
+    #[test]
+    fn accessors() {
+        let e = DslError::at("x", 1, 2);
+        assert_eq!(e.message(), "x");
+        assert_eq!(e.line(), Some(1));
+        assert_eq!(e.rule(), None);
+    }
+}

@@ -1,0 +1,626 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ast::{BinOp, Block, Expr, LetLhs, UnOp};
+use crate::error::DslError;
+use crate::value::Value;
+
+/// Signature of a host-registered function callable from rules.
+pub type BuiltinFn = Arc<dyn Fn(&[Value]) -> Result<Value, String> + Send + Sync>;
+
+/// The function namespace visible to rules.
+///
+/// Ships a standard library of string/collection helpers; applications
+/// register domain functions on top — most importantly `parse`, which the
+/// paper's rules use to split a protocol line into a command tuple.
+#[derive(Clone)]
+pub struct Builtins {
+    fns: HashMap<String, BuiltinFn>,
+}
+
+impl fmt::Debug for Builtins {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.fns.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("Builtins").field("fns", &names).finish()
+    }
+}
+
+fn arg<'a>(args: &'a [Value], i: usize, f: &str) -> Result<&'a Value, String> {
+    args.get(i).ok_or_else(|| format!("{f}: missing argument {i}"))
+}
+
+fn str_arg<'a>(args: &'a [Value], i: usize, f: &str) -> Result<&'a str, String> {
+    match arg(args, i, f)? {
+        Value::Str(s) => Ok(s),
+        other => Err(format!("{f}: argument {i} must be a string, got {}", other.type_name())),
+    }
+}
+
+fn int_arg(args: &[Value], i: usize, f: &str) -> Result<i64, String> {
+    match arg(args, i, f)? {
+        Value::Int(n) => Ok(*n),
+        other => Err(format!("{f}: argument {i} must be an int, got {}", other.type_name())),
+    }
+}
+
+impl Builtins {
+    /// An empty namespace (rules can then only use operators).
+    pub fn new() -> Self {
+        Builtins {
+            fns: HashMap::new(),
+        }
+    }
+
+    /// The standard library: `len`, `str`, `int`, `substr`,
+    /// `starts_with`, `ends_with`, `contains`, `split`, `join`, `trim`,
+    /// `upper`, `lower`, `replace`, `nth`.
+    pub fn standard() -> Self {
+        let mut b = Builtins::new();
+        b.register("len", |args| {
+            Ok(Value::Int(match arg(args, 0, "len")? {
+                Value::Str(s) => s.len() as i64,
+                Value::List(l) => l.len() as i64,
+                Value::Tuple(t) => t.len() as i64,
+                other => return Err(format!("len: unsupported type {}", other.type_name())),
+            }))
+        });
+        b.register("str", |args| {
+            Ok(Value::Str(arg(args, 0, "str")?.to_display_string()))
+        });
+        b.register("int", |args| {
+            Ok(match arg(args, 0, "int")? {
+                Value::Int(n) => Value::Int(*n),
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .unwrap_or(Value::Nil),
+                _ => Value::Nil,
+            })
+        });
+        b.register("substr", |args| {
+            let s = str_arg(args, 0, "substr")?;
+            let start = int_arg(args, 1, "substr")?.max(0) as usize;
+            let end = (int_arg(args, 2, "substr")?.max(0) as usize).min(s.len());
+            if start >= end {
+                return Ok(Value::Str(String::new()));
+            }
+            Ok(Value::Str(s[start..end].to_string()))
+        });
+        b.register("starts_with", |args| {
+            Ok(Value::Bool(
+                str_arg(args, 0, "starts_with")?.starts_with(str_arg(args, 1, "starts_with")?),
+            ))
+        });
+        b.register("ends_with", |args| {
+            Ok(Value::Bool(
+                str_arg(args, 0, "ends_with")?.ends_with(str_arg(args, 1, "ends_with")?),
+            ))
+        });
+        b.register("contains", |args| {
+            Ok(Value::Bool(
+                str_arg(args, 0, "contains")?.contains(str_arg(args, 1, "contains")?),
+            ))
+        });
+        b.register("split", |args| {
+            let s = str_arg(args, 0, "split")?;
+            let sep = str_arg(args, 1, "split")?;
+            let parts: Vec<Value> = if sep.is_empty() {
+                s.split_whitespace()
+                    .map(|p| Value::Str(p.to_string()))
+                    .collect()
+            } else {
+                s.split(sep).map(|p| Value::Str(p.to_string())).collect()
+            };
+            Ok(Value::List(parts))
+        });
+        b.register("join", |args| {
+            let list = match arg(args, 0, "join")? {
+                Value::List(l) => l,
+                other => return Err(format!("join: expected list, got {}", other.type_name())),
+            };
+            let sep = str_arg(args, 1, "join")?;
+            Ok(Value::Str(
+                list.iter()
+                    .map(Value::to_display_string)
+                    .collect::<Vec<_>>()
+                    .join(sep),
+            ))
+        });
+        b.register("trim", |args| {
+            Ok(Value::Str(str_arg(args, 0, "trim")?.trim().to_string()))
+        });
+        b.register("upper", |args| {
+            Ok(Value::Str(str_arg(args, 0, "upper")?.to_uppercase()))
+        });
+        b.register("lower", |args| {
+            Ok(Value::Str(str_arg(args, 0, "lower")?.to_lowercase()))
+        });
+        b.register("replace", |args| {
+            Ok(Value::Str(str_arg(args, 0, "replace")?.replace(
+                str_arg(args, 1, "replace")?,
+                str_arg(args, 2, "replace")?,
+            )))
+        });
+        b.register("nth", |args| {
+            let i = int_arg(args, 1, "nth")?;
+            let items = match arg(args, 0, "nth")? {
+                Value::List(l) => l,
+                Value::Tuple(t) => t,
+                other => return Err(format!("nth: expected list, got {}", other.type_name())),
+            };
+            Ok(if i < 0 {
+                Value::Nil
+            } else {
+                items.get(i as usize).cloned().unwrap_or(Value::Nil)
+            })
+        });
+        b
+    }
+
+    /// Registers (or replaces) a function.
+    pub fn register(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value, String> + Send + Sync + 'static,
+    ) {
+        self.fns.insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Looks up a function by name.
+    pub fn get(&self, name: &str) -> Option<&BuiltinFn> {
+        self.fns.get(name)
+    }
+}
+
+impl Default for Builtins {
+    fn default() -> Self {
+        Builtins::standard()
+    }
+}
+
+/// A variable scope. Pattern matching populates it; guard `let`s extend
+/// it; template expressions read from it.
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    vars: HashMap<String, Value>,
+}
+
+impl Env {
+    /// An empty scope.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Binds (or shadows) a variable.
+    pub fn set(&mut self, name: &str, value: Value) {
+        self.vars.insert(name.to_string(), value);
+    }
+
+    /// Reads a variable.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    /// Destructures `value` against a `let` left-hand side.
+    ///
+    /// # Errors
+    /// Fails when a tuple pattern meets a non-sequence or the arity
+    /// differs.
+    pub fn bind(&mut self, lhs: &LetLhs, value: Value) -> Result<(), DslError> {
+        match lhs {
+            LetLhs::Wildcard => Ok(()),
+            LetLhs::Var(name) => {
+                self.set(name, value);
+                Ok(())
+            }
+            LetLhs::Tuple(parts) => {
+                let items = match value {
+                    Value::Tuple(items) | Value::List(items) => items,
+                    other => {
+                        return Err(DslError::new(format!(
+                            "cannot destructure {} into a tuple pattern",
+                            other.type_name()
+                        )))
+                    }
+                };
+                if items.len() != parts.len() {
+                    return Err(DslError::new(format!(
+                        "tuple pattern arity {} does not match value arity {}",
+                        parts.len(),
+                        items.len()
+                    )));
+                }
+                for (part, item) in parts.iter().zip(items) {
+                    self.bind(part, item)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Evaluates an expression.
+///
+/// # Errors
+/// Type errors, unknown variables/functions, division by zero, and
+/// builtin failures all surface as [`DslError`].
+pub fn eval_expr(expr: &Expr, env: &Env, builtins: &Builtins) -> Result<Value, DslError> {
+    match expr {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Var(name, line) => env.get(name).cloned().ok_or_else(|| {
+            DslError::at(format!("unknown variable `{name}`"), *line, 0)
+        }),
+        Expr::Unary(op, inner) => {
+            let v = eval_expr(inner, env, builtins)?;
+            match op {
+                UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+                UnOp::Neg => Ok(Value::Int(-v.as_int()?)),
+            }
+        }
+        Expr::Binary(op, lhs, rhs) => eval_binary(*op, lhs, rhs, env, builtins),
+        Expr::Call(name, args, line) => {
+            let f = builtins.get(name).ok_or_else(|| {
+                DslError::at(format!("unknown function `{name}`"), *line, 0)
+            })?;
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_expr(a, env, builtins)?);
+            }
+            f(&vals).map_err(DslError::new)
+        }
+        Expr::Index(base, index) => {
+            let b = eval_expr(base, env, builtins)?;
+            let i = eval_expr(index, env, builtins)?.as_int()?;
+            Ok(index_value(&b, i))
+        }
+        Expr::Tuple(items) => {
+            let mut vals = Vec::with_capacity(items.len());
+            for item in items {
+                vals.push(eval_expr(item, env, builtins)?);
+            }
+            Ok(Value::Tuple(vals))
+        }
+        Expr::List(items) => {
+            let mut vals = Vec::with_capacity(items.len());
+            for item in items {
+                vals.push(eval_expr(item, env, builtins)?);
+            }
+            Ok(Value::List(vals))
+        }
+    }
+}
+
+fn index_value(base: &Value, i: i64) -> Value {
+    if i < 0 {
+        return Value::Nil;
+    }
+    let i = i as usize;
+    match base {
+        Value::List(items) | Value::Tuple(items) => items.get(i).cloned().unwrap_or(Value::Nil),
+        Value::Str(s) => s
+            .get(i..i + 1)
+            .map(|c| Value::Str(c.to_string()))
+            .unwrap_or(Value::Nil),
+        _ => Value::Nil,
+    }
+}
+
+fn eval_binary(
+    op: BinOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    env: &Env,
+    builtins: &Builtins,
+) -> Result<Value, DslError> {
+    // Short-circuit logicals first.
+    match op {
+        BinOp::And => {
+            let l = eval_expr(lhs, env, builtins)?.as_bool()?;
+            if !l {
+                return Ok(Value::Bool(false));
+            }
+            return Ok(Value::Bool(eval_expr(rhs, env, builtins)?.as_bool()?));
+        }
+        BinOp::Or => {
+            let l = eval_expr(lhs, env, builtins)?.as_bool()?;
+            if l {
+                return Ok(Value::Bool(true));
+            }
+            return Ok(Value::Bool(eval_expr(rhs, env, builtins)?.as_bool()?));
+        }
+        _ => {}
+    }
+    let l = eval_expr(lhs, env, builtins)?;
+    let r = eval_expr(rhs, env, builtins)?;
+    match op {
+        BinOp::Eq => Ok(Value::Bool(l == r)),
+        BinOp::Ne => Ok(Value::Bool(l != r)),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ord = match (&l, &r) {
+                (Value::Int(a), Value::Int(b)) => a.cmp(b),
+                (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                _ => {
+                    return Err(DslError::new(format!(
+                        "cannot order {} against {}",
+                        l.type_name(),
+                        r.type_name()
+                    )))
+                }
+            };
+            Ok(Value::Bool(match op {
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Le => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            }))
+        }
+        BinOp::Add => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => a
+                .checked_add(*b)
+                .map(Value::Int)
+                .ok_or_else(|| DslError::new("integer overflow in `+`")),
+            (Value::List(a), Value::List(b)) => {
+                let mut out = a.clone();
+                out.extend(b.iter().cloned());
+                Ok(Value::List(out))
+            }
+            (Value::Str(_), _) | (_, Value::Str(_)) => Ok(Value::Str(format!(
+                "{}{}",
+                l.to_display_string(),
+                r.to_display_string()
+            ))),
+            _ => Err(DslError::new(format!(
+                "cannot add {} and {}",
+                l.type_name(),
+                r.type_name()
+            ))),
+        },
+        BinOp::Sub => Ok(Value::Int(
+            l.as_int()?
+                .checked_sub(r.as_int()?)
+                .ok_or_else(|| DslError::new("integer overflow in `-`"))?,
+        )),
+        BinOp::Mul => Ok(Value::Int(
+            l.as_int()?
+                .checked_mul(r.as_int()?)
+                .ok_or_else(|| DslError::new("integer overflow in `*`"))?,
+        )),
+        BinOp::Div => {
+            let d = r.as_int()?;
+            if d == 0 {
+                return Err(DslError::new("division by zero"));
+            }
+            Ok(Value::Int(l.as_int()? / d))
+        }
+        BinOp::Rem => {
+            let d = r.as_int()?;
+            if d == 0 {
+                return Err(DslError::new("remainder by zero"));
+            }
+            Ok(Value::Int(l.as_int()? % d))
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+/// Evaluates a block: runs its `let`s in order, then the value
+/// expression, in a child scope.
+///
+/// # Errors
+/// Propagates any evaluation or destructuring failure.
+pub fn eval_block(
+    block: &Block,
+    env: &Env,
+    builtins: &Builtins,
+) -> Result<Value, DslError> {
+    let mut scope = env.clone();
+    for (lhs, rhs) in &block.lets {
+        let v = eval_expr(rhs, &scope, builtins)?;
+        scope.bind(lhs, v)?;
+    }
+    eval_expr(&block.value, &scope, builtins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn eval_guard(src_guard: &str, env: &Env) -> Result<Value, DslError> {
+        let src = format!("rule t {{ on f() when {src_guard} => nothing }}");
+        let prog = parse_program(&src).unwrap();
+        eval_block(
+            prog.rules[0].guard.as_ref().unwrap(),
+            env,
+            &Builtins::standard(),
+        )
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let env = Env::new();
+        assert_eq!(eval_guard("1 + 2 * 3 == 7", &env).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_guard("(10 - 4) / 3 == 2", &env).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(eval_guard("7 % 3 == 1", &env).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn string_concat_coerces() {
+        let mut env = Env::new();
+        env.set("k", Value::Str("key".into()));
+        env.set("n", Value::Int(5));
+        assert_eq!(
+            eval_guard(r#""PUT " + k + " " + n == "PUT key 5""#, &env).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert!(eval_guard("1 / 0 == 0", &Env::new()).is_err());
+        assert!(eval_guard("1 % 0 == 0", &Env::new()).is_err());
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs_error() {
+        // `1/0` on the rhs must not evaluate when the lhs decides.
+        assert_eq!(
+            eval_guard("false && 1 / 0 == 0", &Env::new()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_guard("true || 1 / 0 == 0", &Env::new()).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn comparisons_on_strings() {
+        assert_eq!(
+            eval_guard(r#""abc" < "abd""#, &Env::new()).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(eval_guard(r#""abc" < 3"#, &Env::new()).is_err());
+    }
+
+    #[test]
+    fn equality_across_types_is_false_not_error() {
+        assert_eq!(
+            eval_guard(r#"1 == "1""#, &Env::new()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_guard("nil == nil", &Env::new()).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn let_destructuring_binds_tuples() {
+        let mut env = Env::new();
+        env.set("s", Value::Str("PUT balance 100".into()));
+        let v = eval_guard(
+            r#"{ let parts = split(s, " "); let (cmd, key, val) = parts; cmd == "PUT" && key == "balance" && int(val) == 100 }"#,
+            &env,
+        )
+        .unwrap();
+        assert_eq!(v, Value::Bool(true));
+    }
+
+    #[test]
+    fn destructuring_arity_mismatch_errors() {
+        let mut env = Env::new();
+        env.set("s", Value::Str("a b".into()));
+        assert!(eval_guard(r#"{ let (x, y, z) = split(s, " "); true }"#, &env).is_err());
+    }
+
+    #[test]
+    fn indexing_lists_and_strings() {
+        let env = Env::new();
+        assert_eq!(
+            eval_guard(r#"[10, 20, 30][1] == 20"#, &env).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_guard(r#""abc"[0] == "a""#, &env).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_guard(r#"[1][5] == nil"#, &env).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn stdlib_string_functions() {
+        let env = Env::new();
+        for (expr, expect) in [
+            (r#"len("abcd") == 4"#, true),
+            (r#"starts_with("PUT-number", "PUT-")"#, true),
+            (r#"ends_with("cmd\r\n", "\r\n")"#, true),
+            (r#"contains("hello world", "lo wo")"#, true),
+            (r#"trim("  x  ") == "x""#, true),
+            (r#"upper("ab") == "AB""#, true),
+            (r#"lower("AB") == "ab""#, true),
+            (r#"replace("a-b-c", "-", "+") == "a+b+c""#, true),
+            (r#"substr("abcdef", 1, 3) == "bc""#, true),
+            (r#"substr("ab", 1, 99) == "b""#, true),
+            (r#"join(["a", "b"], ",") == "a,b""#, true),
+            (r#"nth([4, 5], 1) == 5"#, true),
+            (r#"nth([4, 5], 9) == nil"#, true),
+            (r#"int("42") == 42"#, true),
+            (r#"int("4x2") == nil"#, true),
+            (r#"str(42) == "42""#, true),
+        ] {
+            assert_eq!(
+                eval_guard(expr, &env).unwrap(),
+                Value::Bool(expect),
+                "{expr}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_on_empty_separator_is_whitespace_split() {
+        let env = Env::new();
+        assert_eq!(
+            eval_guard(r#"len(split("a  b   c", "")) == 3"#, &env).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn unknown_variable_and_function_error() {
+        assert!(eval_guard("mystery == 1", &Env::new()).is_err());
+        assert!(eval_guard("mystery(1) == 1", &Env::new()).is_err());
+    }
+
+    #[test]
+    fn custom_builtin_is_callable() {
+        let mut b = Builtins::standard();
+        b.register("parse", |args| {
+            let s = match &args[0] {
+                Value::Str(s) => s,
+                _ => return Err("parse: expected string".into()),
+            };
+            let parts: Vec<&str> = s.split_whitespace().collect();
+            Ok(Value::Tuple(vec![
+                parts
+                    .first()
+                    .map(|p| Value::Str(p.to_string()))
+                    .unwrap_or(Value::Nil),
+                parts
+                    .get(1)
+                    .map(|p| Value::Str(p.to_string()))
+                    .unwrap_or(Value::Nil),
+            ]))
+        });
+        let prog =
+            parse_program(r#"rule t { on f() when { let (cmd, _) = parse("GET k"); cmd == "GET" } => nothing }"#)
+                .unwrap();
+        let v = eval_block(prog.rules[0].guard.as_ref().unwrap(), &Env::new(), &b).unwrap();
+        assert_eq!(v, Value::Bool(true));
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let mut env = Env::new();
+        env.set("big", Value::Int(i64::MAX));
+        assert!(eval_guard("big + 1 == 0", &env).is_err());
+        assert!(eval_guard("big * 2 == 0", &env).is_err());
+    }
+
+    #[test]
+    fn builtins_debug_lists_names() {
+        let b = Builtins::standard();
+        let dbg = format!("{b:?}");
+        assert!(dbg.contains("split"), "{dbg}");
+    }
+}

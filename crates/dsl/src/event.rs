@@ -1,0 +1,83 @@
+use std::fmt;
+
+use crate::value::Value;
+
+/// A named event with positional arguments — the unit the rule engine
+/// matches and rewrites.
+///
+/// The MVE layer projects each logged syscall record (call + result) into
+/// one `Event` whose arguments follow a per-syscall schema (for example,
+/// `read(fd, data, n)`, where `data` and `n` come from the *result* —
+/// matching how the paper's rules treat the buffer contents of `read` as
+/// matchable). The `error` field carries a failed syscall's errno name;
+/// rules may match on it via the builtin-visible argument list staying
+/// empty of payloads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Event (syscall) name, e.g. `"read"`.
+    pub name: String,
+    /// Positional arguments per the event's schema.
+    pub args: Vec<Value>,
+    /// Present when the underlying operation failed; the errno name.
+    pub error: Option<String>,
+}
+
+impl Event {
+    /// Creates a successful event.
+    pub fn new(name: impl Into<String>, args: Vec<Value>) -> Self {
+        Event {
+            name: name.into(),
+            args,
+            error: None,
+        }
+    }
+
+    /// Creates a failed event carrying an errno name.
+    pub fn with_error(name: impl Into<String>, args: Vec<Value>, error: impl Into<String>) -> Self {
+        Event {
+            name: name.into(),
+            args,
+            error: Some(error.into()),
+        }
+    }
+
+    /// Arity of the event.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")?;
+        if let Some(e) = &self.error {
+            write!(f, " = {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_call_shape() {
+        let e = Event::new("read", vec![Value::Int(4), Value::Str("hi".into())]);
+        assert_eq!(e.to_string(), "read(4, \"hi\")");
+    }
+
+    #[test]
+    fn error_events_carry_errno() {
+        let e = Event::with_error("read", vec![Value::Int(4)], "timed out");
+        assert_eq!(e.to_string(), "read(4) = timed out");
+        assert_eq!(e.arity(), 1);
+    }
+}

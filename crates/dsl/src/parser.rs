@@ -1,0 +1,539 @@
+use crate::ast::{BinOp, Block, Expr, LetLhs, PatArg, Pattern, Program, RuleDef, Template, UnOp};
+use crate::error::DslError;
+use crate::token::{tokenize, Token, TokenKind};
+use crate::value::Value;
+
+/// Parses DSL source text into a [`Program`].
+///
+/// # Errors
+/// Reports the first lexical or syntactic error with its position.
+pub fn parse_program(src: &str) -> Result<Program, DslError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut rules = Vec::new();
+    while !parser.at_end() {
+        rules.push(parser.rule()?);
+    }
+    Ok(Program { rules })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn here(&self) -> (u32, u32) {
+        self.peek()
+            .map(|t| (t.line, t.col))
+            .or_else(|| self.tokens.last().map(|t| (t.line, t.col)))
+            .unwrap_or((1, 1))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DslError {
+        let (l, c) = self.here();
+        DslError::at(msg, l, c)
+    }
+
+    fn bump(&mut self) -> Result<Token, DslError> {
+        let tok = self
+            .peek()
+            .cloned()
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(tok)
+    }
+
+    fn eat(&mut self, kind: &TokenKind, what: &str) -> Result<Token, DslError> {
+        match self.peek() {
+            Some(t) if &t.kind == kind => self.bump(),
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), DslError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) if s == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(format!("expected keyword `{kw}`"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token { kind: TokenKind::Ident(s), .. }) if s == kw)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, u32), DslError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                line,
+                ..
+            }) => {
+                let out = (s.clone(), *line);
+                self.pos += 1;
+                Ok(out)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    // rule := "rule" IDENT "{" "on" patterns ["when" guard] "=>" templates "}"
+    fn rule(&mut self) -> Result<RuleDef, DslError> {
+        self.eat_keyword("rule")?;
+        let (name, line) = self.ident("rule name")?;
+        self.eat(&TokenKind::LBrace, "`{`")?;
+        self.eat_keyword("on")?;
+        let mut patterns = vec![self.pattern()?];
+        while matches!(self.peek(), Some(t) if t.kind == TokenKind::Comma) {
+            self.bump()?;
+            patterns.push(self.pattern()?);
+        }
+        let guard = if self.peek_keyword("when") {
+            self.bump()?;
+            Some(self.guard()?)
+        } else {
+            None
+        };
+        self.eat(&TokenKind::Arrow, "`=>`")?;
+        let templates = self.templates()?;
+        self.eat(&TokenKind::RBrace, "`}`")?;
+        Ok(RuleDef {
+            name,
+            patterns,
+            guard,
+            templates,
+            line,
+        })
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, DslError> {
+        let (event, line) = self.ident("event name")?;
+        self.eat(&TokenKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if !matches!(self.peek(), Some(t) if t.kind == TokenKind::RParen) {
+            loop {
+                args.push(self.pat_arg()?);
+                match self.peek() {
+                    Some(t) if t.kind == TokenKind::Comma => {
+                        self.bump()?;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.eat(&TokenKind::RParen, "`)`")?;
+        Ok(Pattern { event, args, line })
+    }
+
+    fn pat_arg(&mut self) -> Result<PatArg, DslError> {
+        let tok = self.bump()?;
+        Ok(match tok.kind {
+            TokenKind::Underscore => PatArg::Wildcard,
+            TokenKind::Int(i) => PatArg::Lit(Value::Int(i)),
+            TokenKind::Str(s) => PatArg::Lit(Value::Str(s)),
+            TokenKind::Minus => match self.bump()?.kind {
+                TokenKind::Int(i) => PatArg::Lit(Value::Int(-i)),
+                _ => return Err(self.err("expected integer after `-` in pattern")),
+            },
+            TokenKind::Ident(s) => match s.as_str() {
+                "true" => PatArg::Lit(Value::Bool(true)),
+                "false" => PatArg::Lit(Value::Bool(false)),
+                "nil" => PatArg::Lit(Value::Nil),
+                _ => PatArg::Bind(s),
+            },
+            _ => return Err(self.err("expected pattern argument")),
+        })
+    }
+
+    fn guard(&mut self) -> Result<Block, DslError> {
+        if matches!(self.peek(), Some(t) if t.kind == TokenKind::LBrace) {
+            self.block()
+        } else {
+            Ok(Block {
+                lets: Vec::new(),
+                value: self.expr()?,
+            })
+        }
+    }
+
+    // block := "{" ("let" lhs "=" expr ";")* expr "}"
+    fn block(&mut self) -> Result<Block, DslError> {
+        self.eat(&TokenKind::LBrace, "`{`")?;
+        let mut lets = Vec::new();
+        while self.peek_keyword("let") {
+            self.bump()?;
+            let lhs = self.let_lhs()?;
+            self.eat(&TokenKind::Assign, "`=`")?;
+            let rhs = self.expr()?;
+            self.eat(&TokenKind::Semi, "`;`")?;
+            lets.push((lhs, rhs));
+        }
+        let value = self.expr()?;
+        self.eat(&TokenKind::RBrace, "`}`")?;
+        Ok(Block { lets, value })
+    }
+
+    fn let_lhs(&mut self) -> Result<LetLhs, DslError> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Underscore) => {
+                self.bump()?;
+                Ok(LetLhs::Wildcard)
+            }
+            Some(TokenKind::Ident(s)) => {
+                self.bump()?;
+                Ok(LetLhs::Var(s))
+            }
+            Some(TokenKind::LParen) => {
+                self.bump()?;
+                let mut parts = vec![self.let_lhs()?];
+                while matches!(self.peek(), Some(t) if t.kind == TokenKind::Comma) {
+                    self.bump()?;
+                    parts.push(self.let_lhs()?);
+                }
+                self.eat(&TokenKind::RParen, "`)`")?;
+                Ok(LetLhs::Tuple(parts))
+            }
+            _ => Err(self.err("expected `let` pattern")),
+        }
+    }
+
+    fn templates(&mut self) -> Result<Vec<Template>, DslError> {
+        if self.peek_keyword("nothing") {
+            self.bump()?;
+            return Ok(Vec::new());
+        }
+        let mut out = vec![self.template()?];
+        while matches!(self.peek(), Some(t) if t.kind == TokenKind::Comma) {
+            self.bump()?;
+            out.push(self.template()?);
+        }
+        Ok(out)
+    }
+
+    fn template(&mut self) -> Result<Template, DslError> {
+        let (event, line) = self.ident("event name")?;
+        self.eat(&TokenKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if !matches!(self.peek(), Some(t) if t.kind == TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                match self.peek() {
+                    Some(t) if t.kind == TokenKind::Comma => {
+                        self.bump()?;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.eat(&TokenKind::RParen, "`)`")?;
+        Ok(Template { event, args, line })
+    }
+
+    // ---- expressions, precedence climbing ---------------------------
+
+    fn expr(&mut self) -> Result<Expr, DslError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), Some(t) if t.kind == TokenKind::OrOr) {
+            self.bump()?;
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.cmp_expr()?;
+        while matches!(self.peek(), Some(t) if t.kind == TokenKind::AndAnd) {
+            self.bump()?;
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, DslError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().map(|t| &t.kind) {
+            Some(TokenKind::EqEq) => BinOp::Eq,
+            Some(TokenKind::NotEq) => BinOp::Ne,
+            Some(TokenKind::Lt) => BinOp::Lt,
+            Some(TokenKind::Le) => BinOp::Le,
+            Some(TokenKind::Gt) => BinOp::Gt,
+            Some(TokenKind::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump()?;
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump()?;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                Some(TokenKind::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.bump()?;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, DslError> {
+        match self.peek().map(|t| &t.kind) {
+            Some(TokenKind::Bang) => {
+                self.bump()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            Some(TokenKind::Minus) => {
+                self.bump()?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, DslError> {
+        let mut e = self.primary_expr()?;
+        while matches!(self.peek(), Some(t) if t.kind == TokenKind::LBracket) {
+            self.bump()?;
+            let idx = self.expr()?;
+            self.eat(&TokenKind::RBracket, "`]`")?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, DslError> {
+        let tok = self.bump()?;
+        match tok.kind {
+            TokenKind::Int(i) => Ok(Expr::Lit(Value::Int(i))),
+            TokenKind::Str(s) => Ok(Expr::Lit(Value::Str(s))),
+            TokenKind::Ident(s) => match s.as_str() {
+                "true" => Ok(Expr::Lit(Value::Bool(true))),
+                "false" => Ok(Expr::Lit(Value::Bool(false))),
+                "nil" => Ok(Expr::Lit(Value::Nil)),
+                _ => {
+                    if matches!(self.peek(), Some(t) if t.kind == TokenKind::LParen) {
+                        self.bump()?;
+                        let mut args = Vec::new();
+                        if !matches!(self.peek(), Some(t) if t.kind == TokenKind::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                match self.peek() {
+                                    Some(t) if t.kind == TokenKind::Comma => {
+                                        self.bump()?;
+                                    }
+                                    _ => break,
+                                }
+                            }
+                        }
+                        self.eat(&TokenKind::RParen, "`)`")?;
+                        Ok(Expr::Call(s, args, tok.line))
+                    } else {
+                        Ok(Expr::Var(s, tok.line))
+                    }
+                }
+            },
+            TokenKind::LParen => {
+                let first = self.expr()?;
+                if matches!(self.peek(), Some(t) if t.kind == TokenKind::Comma) {
+                    let mut items = vec![first];
+                    while matches!(self.peek(), Some(t) if t.kind == TokenKind::Comma) {
+                        self.bump()?;
+                        items.push(self.expr()?);
+                    }
+                    self.eat(&TokenKind::RParen, "`)`")?;
+                    Ok(Expr::Tuple(items))
+                } else {
+                    self.eat(&TokenKind::RParen, "`)`")?;
+                    Ok(first)
+                }
+            }
+            TokenKind::LBracket => {
+                let mut items = Vec::new();
+                if !matches!(self.peek(), Some(t) if t.kind == TokenKind::RBracket) {
+                    loop {
+                        items.push(self.expr()?);
+                        match self.peek() {
+                            Some(t) if t.kind == TokenKind::Comma => {
+                                self.bump()?;
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                self.eat(&TokenKind::RBracket, "`]`")?;
+                Ok(Expr::List(items))
+            }
+            other => Err(DslError::at(
+                format!("expected expression, found {other:?}"),
+                tok.line,
+                tok.col,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_rule() {
+        let p = parse_program("rule r { on ping() => nothing }").unwrap();
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(p.rules[0].name, "r");
+        assert_eq!(p.rules[0].patterns[0].event, "ping");
+        assert!(p.rules[0].templates.is_empty());
+    }
+
+    #[test]
+    fn parses_figure4_rule1_shape() {
+        let src = r#"
+            // Figure 4, Rule 1: typed PUT becomes bad-cmd for the follower
+            rule put_typed {
+                on read(fd, s, n)
+                when {
+                    let (cmd, typ, _, _) = parse(s);
+                    cmd == "PUT" && typ != nil
+                }
+                => read(fd, "bad-cmd", 7)
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let r = &p.rules[0];
+        assert_eq!(r.patterns.len(), 1);
+        assert_eq!(r.patterns[0].args.len(), 3);
+        let g = r.guard.as_ref().unwrap();
+        assert_eq!(g.lets.len(), 1);
+        assert!(matches!(&g.lets[0].0, LetLhs::Tuple(parts) if parts.len() == 4));
+        assert_eq!(r.templates.len(), 1);
+    }
+
+    #[test]
+    fn parses_figure5_multi_pattern() {
+        let src = r#"
+            rule unknown_cmd {
+                on read(fd, s, n), write(fd2, "500 Unknown command\r\n", m)
+                => read(fd, "FOOBAR\r\n", 8), write(fd2, "500 Unknown command\r\n", m)
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let r = &p.rules[0];
+        assert_eq!(r.patterns.len(), 2);
+        assert_eq!(r.templates.len(), 2);
+        assert!(matches!(
+            &r.patterns[1].args[1],
+            PatArg::Lit(Value::Str(s)) if s.starts_with("500")
+        ));
+    }
+
+    #[test]
+    fn parses_bare_expression_guard() {
+        let p = parse_program(r#"rule g { on f(x) when x > 3 => f(x) }"#).unwrap();
+        assert!(p.rules[0].guard.is_some());
+    }
+
+    #[test]
+    fn precedence_add_binds_tighter_than_cmp() {
+        let p = parse_program("rule g { on f(x) when x + 1 == 2 * 3 => f(x) }").unwrap();
+        let g = p.rules[0].guard.as_ref().unwrap();
+        match &g.value {
+            Expr::Binary(BinOp::Eq, l, r) => {
+                assert!(matches!(**l, Expr::Binary(BinOp::Add, _, _)));
+                assert!(matches!(**r, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_tuples_lists_indexing_calls() {
+        let p = parse_program(
+            r#"rule g { on f(x) when ((1, 2), [3, x], split(x, " ")[0]) != nil => f(x) }"#,
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let p = parse_program("rule g { on f(x) when !(x == 1) => f(-x) }").unwrap();
+        assert!(matches!(
+            p.rules[0].guard.as_ref().unwrap().value,
+            Expr::Unary(UnOp::Not, _)
+        ));
+        assert!(matches!(
+            p.rules[0].templates[0].args[0],
+            Expr::Unary(UnOp::Neg, _)
+        ));
+    }
+
+    #[test]
+    fn negative_literal_pattern() {
+        let p = parse_program("rule g { on f(-1) => nothing }").unwrap();
+        assert_eq!(p.rules[0].patterns[0].args[0], PatArg::Lit(Value::Int(-1)));
+    }
+
+    #[test]
+    fn multiple_rules_keep_order() {
+        let p = parse_program("rule a { on f() => nothing } rule b { on g() => nothing }").unwrap();
+        assert_eq!(p.rules[0].name, "a");
+        assert_eq!(p.rules[1].name, "b");
+    }
+
+    #[test]
+    fn error_on_missing_arrow() {
+        let err = parse_program("rule a { on f() nothing }").unwrap_err();
+        assert!(err.to_string().contains("=>"), "{err}");
+    }
+
+    #[test]
+    fn error_on_trailing_garbage() {
+        assert!(parse_program("rule a { on f() => nothing } stray").is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_program("rule a {\n on f(\n => nothing }").unwrap_err();
+        assert!(err.line().is_some());
+    }
+}

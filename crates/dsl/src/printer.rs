@@ -1,0 +1,307 @@
+//! Pretty-printer for rule programs: the inverse of the parser, used
+//! for diagnostics (show the operator exactly which rules are live) and
+//! pinned by the parse↔print round-trip property test.
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Block, Expr, LetLhs, PatArg, Pattern, Program, RuleDef, Template, UnOp};
+use crate::value::Value;
+
+/// Renders a program as parseable DSL source.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, rule) in program.rules.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_rule(rule, &mut out);
+    }
+    out
+}
+
+fn print_rule(rule: &RuleDef, out: &mut String) {
+    let _ = writeln!(out, "rule {} {{", rule.name);
+    let patterns = rule
+        .patterns
+        .iter()
+        .map(print_pattern)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "    on {patterns}");
+    if let Some(guard) = &rule.guard {
+        let _ = writeln!(out, "    when {}", print_block(guard));
+    }
+    if rule.templates.is_empty() {
+        let _ = writeln!(out, "    => nothing");
+    } else {
+        let templates = rule
+            .templates
+            .iter()
+            .map(print_template)
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "    => {templates}");
+    }
+    let _ = writeln!(out, "}}");
+}
+
+fn print_pattern(p: &Pattern) -> String {
+    let args = p
+        .args
+        .iter()
+        .map(|a| match a {
+            PatArg::Wildcard => "_".to_string(),
+            PatArg::Bind(name) => name.clone(),
+            PatArg::Lit(v) => print_value(v),
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{}({args})", p.event)
+}
+
+fn print_template(t: &Template) -> String {
+    let args = t
+        .args
+        .iter()
+        .map(print_expr)
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{}({args})", t.event)
+}
+
+fn print_block(b: &Block) -> String {
+    if b.lets.is_empty() {
+        return print_expr(&b.value);
+    }
+    let mut out = String::from("{ ");
+    for (lhs, rhs) in &b.lets {
+        let _ = write!(out, "let {} = {}; ", print_lhs(lhs), print_expr(rhs));
+    }
+    let _ = write!(out, "{} }}", print_expr(&b.value));
+    out
+}
+
+fn print_lhs(lhs: &LetLhs) -> String {
+    match lhs {
+        LetLhs::Wildcard => "_".to_string(),
+        LetLhs::Var(name) => name.clone(),
+        LetLhs::Tuple(parts) => format!(
+            "({})",
+            parts.iter().map(print_lhs).collect::<Vec<_>>().join(", ")
+        ),
+    }
+}
+
+fn print_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => {
+            let mut out = String::from('"');
+            for c in s.chars() {
+                match c {
+                    '\r' => out.push_str("\\r"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\0' => out.push_str("\\0"),
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+            out
+        }
+        other => other.to_string(),
+    }
+}
+
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 5,
+    }
+}
+
+fn print_expr(e: &Expr) -> String {
+    print_expr_prec(e, 0)
+}
+
+fn print_expr_prec(e: &Expr, parent: u8) -> String {
+    match e {
+        Expr::Lit(v) => print_value(v),
+        Expr::Var(name, _) => name.clone(),
+        Expr::Unary(op, inner) => {
+            let sym = match op {
+                UnOp::Not => "!",
+                UnOp::Neg => "-",
+            };
+            let body = format!("{sym}{}", print_expr_prec(inner, 6));
+            // Postfix indexing binds tighter than unary operators.
+            if parent > 6 {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let prec = precedence(*op);
+            // Left-associative chains reparse identically at equal
+            // precedence on the left; the right side needs a bump.
+            // Comparisons are non-associative: parenthesize both sides
+            // at equal precedence.
+            let lhs_min = if matches!(prec, 3) { prec + 1 } else { prec };
+            let body = format!(
+                "{} {op} {}",
+                print_expr_prec(lhs, lhs_min),
+                print_expr_prec(rhs, prec + 1)
+            );
+            if prec < parent {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+        Expr::Call(name, args, _) => format!(
+            "{name}({})",
+            args.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::Index(base, index) => {
+            format!("{}[{}]", print_expr_prec(base, 7), print_expr(index))
+        }
+        Expr::Tuple(items) => format!(
+            "({})",
+            items.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::List(items) => format!(
+            "[{}]",
+            items.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn round_trip(src: &str) {
+        let parsed = parse_program(src).unwrap();
+        let printed = print_program(&parsed);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed output failed to parse: {e}\n{printed}"));
+        assert_eq!(strip_positions(parsed), strip_positions(reparsed), "{printed}");
+    }
+
+    /// AST equality modulo source positions.
+    fn strip_positions(mut p: Program) -> Program {
+        fn fix_expr(e: &mut Expr) {
+            match e {
+                Expr::Var(_, line) => *line = 0,
+                Expr::Call(_, args, line) => {
+                    *line = 0;
+                    args.iter_mut().for_each(fix_expr);
+                }
+                Expr::Unary(_, inner) => fix_expr(inner),
+                Expr::Binary(_, l, r) => {
+                    fix_expr(l);
+                    fix_expr(r);
+                }
+                Expr::Index(b, i) => {
+                    fix_expr(b);
+                    fix_expr(i);
+                }
+                Expr::Tuple(items) | Expr::List(items) => items.iter_mut().for_each(fix_expr),
+                Expr::Lit(_) => {}
+            }
+        }
+        for rule in &mut p.rules {
+            rule.line = 0;
+            for pat in &mut rule.patterns {
+                pat.line = 0;
+            }
+            if let Some(guard) = &mut rule.guard {
+                for (_, rhs) in &mut guard.lets {
+                    fix_expr(rhs);
+                }
+                fix_expr(&mut guard.value);
+            }
+            for t in &mut rule.templates {
+                t.line = 0;
+                t.args.iter_mut().for_each(fix_expr);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn round_trips_the_paper_rules() {
+        round_trip(
+            r#"
+            rule put_typed {
+                on read(fd, s, n)
+                when {
+                    let (cmd, typ, _, _) = parse(s);
+                    cmd == "PUT" && typ != nil
+                }
+                => read(fd, "bad-cmd\r\n", 9)
+            }
+            rule unknown_cmd {
+                on read(fd, s, n), write(fd, "500 Unknown command\r\n", m)
+                => read(fd, "FOOBAR\r\n", 8), write(fd, "500 Unknown command\r\n", m)
+            }
+            rule swallow { on noise() => nothing }
+        "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_operator_precedence() {
+        round_trip("rule g { on f(x) when x + 1 == 2 * (3 - x) => f(-x) }");
+        round_trip("rule g { on f(x) when (x > 1) == (x < 9) => f(x) }");
+        round_trip("rule g { on f(x) when !(x == 1) || x % 2 == 0 && true => f(x) }");
+        round_trip("rule g { on f(x) when x - 1 - 2 - 3 == x / 2 / 2 => f(x) }");
+    }
+
+    #[test]
+    fn round_trips_containers_and_indexing() {
+        round_trip(r#"rule g { on f(x) when ((1, 2), [3, x], split(x, " ")[0]) != nil => f(x) }"#);
+        round_trip("rule g { on f(x) when [][0] == nil => f([1, 2][1]) }");
+    }
+
+    #[test]
+    fn round_trips_escapes_and_literal_patterns() {
+        round_trip(r#"rule g { on f("a\r\n\t\"b\\", -3, true, nil, _) => f("\0") }"#);
+    }
+
+    #[test]
+    fn printed_rules_behave_identically() {
+        use crate::engine::RuleSet;
+        use crate::eval::Builtins;
+        use crate::event::Event;
+        let src = r#"
+            rule tag {
+                on read(fd, s, n)
+                when len(s) > 3 && starts_with(s, "PUT")
+                => read(fd, s + "!", n + 1)
+            }
+        "#;
+        let original = RuleSet::parse(src).unwrap();
+        let printed = print_program(&crate::parser::parse_program(src).unwrap());
+        let reparsed = RuleSet::parse(&printed).unwrap();
+        let b = Builtins::standard();
+        let event = Event::new(
+            "read",
+            vec![
+                Value::Int(1),
+                Value::Str("PUT k v".into()),
+                Value::Int(7),
+            ],
+        );
+        assert_eq!(
+            original.apply(std::slice::from_ref(&event), &b).unwrap(),
+            reparsed.apply(std::slice::from_ref(&event), &b).unwrap(),
+        );
+    }
+}

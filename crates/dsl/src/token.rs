@@ -1,0 +1,448 @@
+use crate::error::DslError;
+
+/// Token classes of the rule language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`rule`, `on`, `when`, `let`, `nothing`,
+    /// `true`, `false`, `nil` are recognized by the parser, not the
+    /// lexer).
+    Ident(String),
+    Int(i64),
+    Str(String),
+    /// `_`
+    Underscore,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    /// `=>`
+    Arrow,
+    /// `=`
+    Assign,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    AndAnd,
+    OrOr,
+}
+
+/// A token with its 1-based source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn string(&mut self, line: u32, col: u32) -> Result<Token, DslError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(DslError::at("unterminated string literal", line, col)),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'0') => out.push('\0'),
+                    other => {
+                        return Err(DslError::at(
+                            format!(
+                                "unknown escape \\{}",
+                                other.map(|c| c as char).unwrap_or(' ')
+                            ),
+                            self.line,
+                            self.col,
+                        ))
+                    }
+                },
+                Some(c) => out.push(c as char),
+            }
+        }
+        Ok(Token {
+            kind: TokenKind::Str(out),
+            line,
+            col,
+        })
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, DslError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
+        let simple = |lexer: &mut Self, kind: TokenKind| {
+            lexer.bump();
+            Ok(Some(Token { kind, line, col }))
+        };
+        match c {
+            b'"' => self.string(line, col).map(Some),
+            b'0'..=b'9' => {
+                let mut n: i64 = 0;
+                while let Some(d @ b'0'..=b'9') = self.peek() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add((d - b'0') as i64))
+                        .ok_or_else(|| DslError::at("integer literal overflows", line, col))?;
+                    self.bump();
+                }
+                Ok(Some(Token {
+                    kind: TokenKind::Int(n),
+                    line,
+                    col,
+                }))
+            }
+            b'a'..=b'z' | b'A'..=b'Z' => {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Some(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                    col,
+                }))
+            }
+            b'_' => {
+                // `_` alone is a wildcard; `_foo` is an identifier.
+                if matches!(self.peek2(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                    let mut s = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == b'_' {
+                            s.push(c as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    Ok(Some(Token {
+                        kind: TokenKind::Ident(s),
+                        line,
+                        col,
+                    }))
+                } else {
+                    simple(self, TokenKind::Underscore)
+                }
+            }
+            b'(' => simple(self, TokenKind::LParen),
+            b')' => simple(self, TokenKind::RParen),
+            b'{' => simple(self, TokenKind::LBrace),
+            b'}' => simple(self, TokenKind::RBrace),
+            b'[' => simple(self, TokenKind::LBracket),
+            b']' => simple(self, TokenKind::RBracket),
+            b',' => simple(self, TokenKind::Comma),
+            b';' => simple(self, TokenKind::Semi),
+            b'+' => simple(self, TokenKind::Plus),
+            b'-' => simple(self, TokenKind::Minus),
+            b'*' => simple(self, TokenKind::Star),
+            b'/' => simple(self, TokenKind::Slash),
+            b'%' => simple(self, TokenKind::Percent),
+            b'=' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        Ok(Some(Token {
+                            kind: TokenKind::EqEq,
+                            line,
+                            col,
+                        }))
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        Ok(Some(Token {
+                            kind: TokenKind::Arrow,
+                            line,
+                            col,
+                        }))
+                    }
+                    _ => Ok(Some(Token {
+                        kind: TokenKind::Assign,
+                        line,
+                        col,
+                    })),
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Some(Token {
+                        kind: TokenKind::NotEq,
+                        line,
+                        col,
+                    }))
+                } else {
+                    Ok(Some(Token {
+                        kind: TokenKind::Bang,
+                        line,
+                        col,
+                    }))
+                }
+            }
+            b'<' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Some(Token {
+                        kind: TokenKind::Le,
+                        line,
+                        col,
+                    }))
+                } else {
+                    Ok(Some(Token {
+                        kind: TokenKind::Lt,
+                        line,
+                        col,
+                    }))
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Some(Token {
+                        kind: TokenKind::Ge,
+                        line,
+                        col,
+                    }))
+                } else {
+                    Ok(Some(Token {
+                        kind: TokenKind::Gt,
+                        line,
+                        col,
+                    }))
+                }
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    Ok(Some(Token {
+                        kind: TokenKind::AndAnd,
+                        line,
+                        col,
+                    }))
+                } else {
+                    Err(DslError::at("expected `&&`", line, col))
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Ok(Some(Token {
+                        kind: TokenKind::OrOr,
+                        line,
+                        col,
+                    }))
+                } else {
+                    Err(DslError::at("expected `||`", line, col))
+                }
+            }
+            other => Err(DslError::at(
+                format!("unexpected character {:?}", other as char),
+                line,
+                col,
+            )),
+        }
+    }
+}
+
+/// Tokenizes DSL source.
+///
+/// # Errors
+/// Fails on unterminated strings, unknown escapes, stray characters, and
+/// overflowing integer literals, with position information.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, DslError> {
+    let mut lexer = Lexer::new(src);
+    let mut out = Vec::new();
+    while let Some(tok) = lexer.next_token()? {
+        out.push(tok);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_rule_skeleton() {
+        let ks = kinds("rule r { on read(fd, _) => nothing }");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("rule".into()),
+                TokenKind::Ident("r".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("on".into()),
+                TokenKind::Ident("read".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("fd".into()),
+                TokenKind::Comma,
+                TokenKind::Underscore,
+                TokenKind::RParen,
+                TokenKind::Arrow,
+                TokenKind::Ident("nothing".into()),
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let ks = kinds("== != <= >= < > + - * / % ! && || = =>");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::Bang,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Assign,
+                TokenKind::Arrow,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_escapes() {
+        let ks = kinds(r#""a\r\n\t\"\\ b""#);
+        assert_eq!(ks, vec![TokenKind::Str("a\r\n\t\"\\ b".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_reports_position() {
+        let err = tokenize("  \"oops").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+        assert_eq!(err.line(), Some(1));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // the rest is noise == !=\nb");
+        assert_eq!(
+            ks,
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn underscore_prefix_is_identifier() {
+        assert_eq!(kinds("_x"), vec![TokenKind::Ident("_x".into())]);
+        assert_eq!(kinds("_"), vec![TokenKind::Underscore]);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].col, 3);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("a # b").is_err());
+        assert!(tokenize("a & b").is_err());
+        assert!(tokenize("a | b").is_err());
+    }
+
+    #[test]
+    fn int_overflow_is_an_error() {
+        assert!(tokenize("99999999999999999999999").is_err());
+    }
+}

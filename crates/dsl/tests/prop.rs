@@ -1,0 +1,264 @@
+//! Property tests for the DSL pipeline: total (never panics) on
+//! arbitrary input, identity semantics for empty rule sets, and
+//! faithfulness of pass-through rules.
+
+use dsl::{tokenize, Builtins, Event, RuleSet, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Nil),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        "[a-zA-Z0-9 _.-]{0,20}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(2, 8, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            proptest::collection::vec(inner, 0..4).prop_map(Value::Tuple),
+        ]
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    ("[a-z][a-z_]{0,8}", proptest::collection::vec(arb_value(), 0..4))
+        .prop_map(|(name, args)| Event::new(name, args))
+}
+
+proptest! {
+    /// The lexer is total: it returns Ok or Err but never panics, on any
+    /// input bytes that form a string.
+    #[test]
+    fn lexer_never_panics(src in ".{0,200}") {
+        let _ = tokenize(&src);
+    }
+
+    /// The parser is total on arbitrary ASCII soup.
+    #[test]
+    fn parser_never_panics(src in "[ -~]{0,200}") {
+        let _ = RuleSet::parse(&src);
+    }
+
+    /// An empty rule set is the identity transformation on any window.
+    #[test]
+    fn empty_ruleset_is_identity(events in proptest::collection::vec(arb_event(), 1..6)) {
+        let rules = RuleSet::empty();
+        let out = rules.apply(&events, &Builtins::standard()).unwrap();
+        prop_assert_eq!(out.consumed, 1);
+        prop_assert_eq!(out.emitted, vec![events[0].clone()]);
+        prop_assert_eq!(out.rule, None);
+    }
+
+    /// A syntactic pass-through rule emits exactly what it matched.
+    #[test]
+    fn passthrough_rule_is_faithful(fd in any::<i64>(), payload in "[a-zA-Z0-9 ]{0,30}") {
+        let rules = RuleSet::parse("rule pass { on read(fd, s) => read(fd, s) }").unwrap();
+        let input = Event::new("read", vec![Value::Int(fd), Value::Str(payload)]);
+        let out = rules.apply(std::slice::from_ref(&input), &Builtins::standard()).unwrap();
+        prop_assert_eq!(out.rule.as_deref(), Some("pass"));
+        prop_assert_eq!(out.emitted, vec![input]);
+    }
+
+    /// Guards are pure: applying the same rule set twice to the same
+    /// window yields the same outcome.
+    #[test]
+    fn application_is_deterministic(events in proptest::collection::vec(arb_event(), 1..4)) {
+        let rules = RuleSet::parse(r#"
+            rule swallow { on noise() => nothing }
+            rule tag { on read(fd, s) when len(s) > 3 => read(fd, s + "!") }
+        "#).unwrap();
+        let b = Builtins::standard();
+        let a = rules.apply(&events, &b);
+        let c = rules.apply(&events, &b);
+        prop_assert_eq!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    /// `consumed` never exceeds the window length and `max_window` bounds
+    /// the lookahead needed.
+    #[test]
+    fn consumed_is_bounded(events in proptest::collection::vec(arb_event(), 1..5)) {
+        let rules = RuleSet::parse(r#"
+            rule pair { on a(), b() => c() }
+            rule one { on a() => nothing }
+        "#).unwrap();
+        prop_assert_eq!(rules.max_window(), 2);
+        if let Ok(out) = rules.apply(&events, &Builtins::standard()) {
+            prop_assert!(out.consumed >= 1);
+            prop_assert!(out.consumed <= events.len());
+            prop_assert!(out.consumed <= rules.max_window());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generative parse <-> print round-trip over random ASTs.
+// ---------------------------------------------------------------------
+
+use dsl::{parse_program, print_program, Block, Expr, LetLhs, PatArg, Pattern, Program, RuleDef,
+          Template};
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Avoid the parser's keywords.
+    "[a-eg-mo-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| {
+        !matches!(s.as_str(), "on" | "when" | "let" | "rule" | "nothing" | "true" | "false" | "nil")
+    })
+}
+
+fn arb_str_lit() -> impl Strategy<Value = String> {
+    // ASCII printable plus the escapable controls the lexer understands.
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range(' ', '~'),
+            Just('\r'),
+            Just('\n'),
+            Just('\t'),
+            Just('"'),
+            Just('\\'),
+        ],
+        0..12,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn arb_lit() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Nil),
+        any::<bool>().prop_map(Value::Bool),
+        (0i64..1_000_000).prop_map(Value::Int), // negatives parse as unary neg
+        arb_str_lit().prop_map(Value::Str),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_lit().prop_map(Expr::Lit),
+        arb_ident().prop_map(|name| Expr::Var(name, 0)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop())
+                .prop_map(|(l, r, op)| Expr::Binary(op, Box::new(l), Box::new(r))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(dsl::UnOp::Not, Box::new(e))),
+            (arb_ident(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| Expr::Call(name, args, 0)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i))),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Tuple),
+            proptest::collection::vec(inner, 0..3).prop_map(Expr::List),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = dsl::BinOp> {
+    use dsl::BinOp::*;
+    prop_oneof![
+        Just(Or), Just(And), Just(Eq), Just(Ne), Just(Lt), Just(Le),
+        Just(Gt), Just(Ge), Just(Add), Just(Sub), Just(Mul), Just(Div), Just(Rem),
+    ]
+}
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    (
+        arb_ident(),
+        proptest::collection::vec(
+            prop_oneof![
+                Just(PatArg::Wildcard),
+                arb_ident().prop_map(PatArg::Bind),
+                arb_lit().prop_map(PatArg::Lit),
+                (1i64..1000).prop_map(|n| PatArg::Lit(Value::Int(-n))),
+            ],
+            0..4,
+        ),
+    )
+        .prop_map(|(event, args)| Pattern { event, args, line: 0 })
+}
+
+fn arb_rule() -> impl Strategy<Value = RuleDef> {
+    (
+        arb_ident(),
+        proptest::collection::vec(arb_pattern(), 1..3),
+        proptest::option::of((
+            proptest::collection::vec(
+                (
+                    prop_oneof![
+                        Just(LetLhs::Wildcard),
+                        arb_ident().prop_map(LetLhs::Var),
+                        proptest::collection::vec(
+                            prop_oneof![Just(LetLhs::Wildcard), arb_ident().prop_map(LetLhs::Var)],
+                            1..3,
+                        )
+                        .prop_map(LetLhs::Tuple),
+                    ],
+                    arb_expr(),
+                ),
+                0..2,
+            ),
+            arb_expr(),
+        )),
+        proptest::collection::vec(
+            (arb_ident(), proptest::collection::vec(arb_expr(), 0..3)),
+            0..3,
+        ),
+    )
+        .prop_map(|(name, patterns, guard, templates)| RuleDef {
+            name,
+            patterns,
+            guard: guard.map(|(lets, value)| Block { lets, value }),
+            templates: templates
+                .into_iter()
+                .map(|(event, args)| Template { event, args, line: 0 })
+                .collect(),
+            line: 0,
+        })
+}
+
+fn strip(mut p: Program) -> Program {
+    fn fix(e: &mut Expr) {
+        match e {
+            Expr::Var(_, line) => *line = 0,
+            Expr::Call(_, args, line) => {
+                *line = 0;
+                args.iter_mut().for_each(fix);
+            }
+            Expr::Unary(_, inner) => fix(inner),
+            Expr::Binary(_, l, r) => {
+                fix(l);
+                fix(r);
+            }
+            Expr::Index(b, i) => {
+                fix(b);
+                fix(i);
+            }
+            Expr::Tuple(items) | Expr::List(items) => items.iter_mut().for_each(fix),
+            Expr::Lit(_) => {}
+        }
+    }
+    for rule in &mut p.rules {
+        rule.line = 0;
+        rule.patterns.iter_mut().for_each(|pat| pat.line = 0);
+        if let Some(g) = &mut rule.guard {
+            g.lets.iter_mut().for_each(|(_, rhs)| fix(rhs));
+            fix(&mut g.value);
+        }
+        for t in &mut rule.templates {
+            t.line = 0;
+            t.args.iter_mut().for_each(fix);
+        }
+    }
+    p
+}
+
+proptest! {
+    /// print(parse(print(ast))) is the identity: printing any AST yields
+    /// source that reparses to the same AST.
+    #[test]
+    fn print_parse_round_trip(rules in proptest::collection::vec(arb_rule(), 0..4)) {
+        let program = Program { rules };
+        let printed = print_program(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed program failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(strip(program), strip(reparsed), "{}", printed);
+    }
+}

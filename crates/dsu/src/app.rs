@@ -1,0 +1,121 @@
+use vos::Os;
+
+use crate::state::AppState;
+use crate::version::Version;
+
+/// What one event-loop iteration reports back to the runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Work was done; call `step` again promptly.
+    Progress,
+    /// Nothing to do right now (e.g. `epoll_wait` timed out). The runtime
+    /// may treat this as a particularly good update point.
+    Idle,
+    /// The program asked to exit cleanly.
+    Shutdown,
+}
+
+/// An updatable program, in the Kitsune mold.
+///
+/// The contract mirrors how Kitsune-ready servers are structured:
+/// a long-running event loop whose iteration boundaries are the *update
+/// points*. The runtime (either the in-place driver in
+/// [`serve`](crate::serve), or the MVE variant runner in `mvedsua-core`)
+/// calls [`step`](DsuApp::step) in a loop and checks for control actions
+/// between calls — which is exactly when all of the program's invariants
+/// are expected to hold.
+///
+/// Crashes are modelled as panics; the runtimes catch them and apply the
+/// paper's recovery policies (rollback, promotion).
+pub trait DsuApp: Send {
+    /// The version this code implements.
+    fn version(&self) -> &Version;
+
+    /// Runs one event-loop iteration against the syscall surface. Must
+    /// bound its blocking (use timeouts) so update points occur
+    /// regularly.
+    fn step(&mut self, os: &mut dyn Os) -> StepOutcome;
+
+    /// A deep, cloneable snapshot of the program state — MVEDSUA's fork.
+    /// Called only at update points, so invariants hold.
+    fn snapshot(&self) -> AppState;
+
+    /// Consumes the program, yielding its state for an in-place update —
+    /// Kitsune's migration path.
+    fn into_state(self: Box<Self>) -> AppState;
+
+    /// True when the program is at a safe point for updating (no
+    /// mid-operation work in flight). The in-place driver refuses to
+    /// update while this is false; repeated refusals become the paper's
+    /// *timing error*.
+    fn quiescent(&self) -> bool {
+        true
+    }
+
+    /// Invoked on the *leader* right after an update forks off a
+    /// follower (the paper §4's aborted-update callback). Memcached uses
+    /// this to reset LibEvent's dispatch memory so leader and follower
+    /// handle events in the same order (§5.3).
+    fn reset_ephemeral(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::v;
+    use vos::{DirectOs, VirtualKernel};
+
+    /// A minimal app used to pin down the trait contract.
+    struct Counter {
+        version: Version,
+        count: u64,
+    }
+
+    impl DsuApp for Counter {
+        fn version(&self) -> &Version {
+            &self.version
+        }
+
+        fn step(&mut self, _os: &mut dyn Os) -> StepOutcome {
+            self.count += 1;
+            if self.count >= 3 {
+                StepOutcome::Shutdown
+            } else {
+                StepOutcome::Progress
+            }
+        }
+
+        fn snapshot(&self) -> AppState {
+            AppState::new(self.count)
+        }
+
+        fn into_state(self: Box<Self>) -> AppState {
+            AppState::new(self.count)
+        }
+    }
+
+    #[test]
+    fn step_until_shutdown() {
+        let kernel = VirtualKernel::new();
+        let mut os = DirectOs::new(kernel);
+        let mut app = Counter {
+            version: v("1.0"),
+            count: 0,
+        };
+        assert_eq!(app.step(&mut os), StepOutcome::Progress);
+        assert_eq!(app.step(&mut os), StepOutcome::Progress);
+        assert_eq!(app.step(&mut os), StepOutcome::Shutdown);
+        assert_eq!(app.snapshot().downcast::<u64>().unwrap(), 3);
+        assert!(app.quiescent(), "default quiescence is true");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let app: Box<dyn DsuApp> = Box::new(Counter {
+            version: v("1.0"),
+            count: 7,
+        });
+        assert_eq!(app.version(), &v("1.0"));
+        assert_eq!(app.into_state().downcast::<u64>().unwrap(), 7);
+    }
+}

@@ -1,0 +1,401 @@
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use vos::Os;
+
+use crate::app::{DsuApp, StepOutcome};
+use crate::error::UpdateError;
+use crate::registry::VersionRegistry;
+use crate::version::Version;
+
+/// A queued dynamic-update request.
+#[derive(Clone, Debug)]
+pub struct UpdateRequest {
+    /// Target version.
+    pub to: Version,
+    /// How many update points may refuse (non-quiescent) before the
+    /// request is abandoned as a timing error.
+    pub max_quiesce_attempts: u32,
+}
+
+impl UpdateRequest {
+    /// A request with the default quiescence budget.
+    pub fn new(to: impl Into<Version>) -> Self {
+        UpdateRequest {
+            to: to.into(),
+            max_quiesce_attempts: 1000,
+        }
+    }
+}
+
+/// Shared control block between the serving loop and the operator.
+///
+/// The operator thread queues updates and stop requests; the serving
+/// loop honors them at update points — between [`DsuApp::step`] calls —
+/// mirroring how Kitsune's update points work.
+#[derive(Debug, Default)]
+pub struct DsuControl {
+    stop: AtomicBool,
+    pending: Mutex<Option<(UpdateRequest, u32)>>,
+    /// Nanoseconds the most recent in-place update paused service.
+    last_pause_nanos: Mutex<Option<u64>>,
+    /// Updates applied over the control block's lifetime.
+    pub updates_applied: AtomicU32,
+    /// Update points that refused an update due to non-quiescence.
+    pub quiesce_refusals: AtomicU32,
+    /// Update requests abandoned after exhausting their quiescence
+    /// budget (timing errors).
+    pub updates_abandoned: AtomicU32,
+}
+
+impl DsuControl {
+    /// Creates a control block.
+    pub fn new() -> Self {
+        DsuControl::default()
+    }
+
+    /// Queues an update; at most one may be pending.
+    ///
+    /// # Errors
+    /// [`UpdateError::UpdateInProgress`] if one is already queued.
+    pub fn request_update(&self, request: UpdateRequest) -> Result<(), UpdateError> {
+        let mut pending = self.pending.lock();
+        if pending.is_some() {
+            return Err(UpdateError::UpdateInProgress);
+        }
+        *pending = Some((request, 0));
+        Ok(())
+    }
+
+    /// Asks the serving loop to exit at its next update point.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// True once a stop has been requested.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// True while an update is queued but not yet applied.
+    pub fn update_pending(&self) -> bool {
+        self.pending.lock().is_some()
+    }
+
+    /// Service pause of the most recent in-place update, in nanoseconds.
+    pub fn last_pause_nanos(&self) -> Option<u64> {
+        *self.last_pause_nanos.lock()
+    }
+}
+
+/// Why [`serve`] returned.
+#[derive(Debug)]
+pub enum ServeExit {
+    /// The application asked to shut down.
+    Shutdown,
+    /// The operator requested a stop.
+    Stopped,
+    /// An in-place update failed. With Kitsune alone this kills the
+    /// service — the old instance was consumed — which is precisely the
+    /// reliability gap MVEDSUA closes.
+    UpdateFailed(UpdateError),
+    /// Application code panicked; the payload message is attached.
+    Crashed(String),
+}
+
+/// Extracts a readable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The Kitsune baseline: run `app`'s event loop, applying queued updates
+/// *in place* at update points. The service pauses for the full duration
+/// of the state transformation — the pause Figure 7 measures and MVEDSUA
+/// hides.
+pub fn serve(
+    mut app: Box<dyn DsuApp>,
+    os: &mut dyn Os,
+    registry: &VersionRegistry,
+    ctl: &DsuControl,
+) -> ServeExit {
+    loop {
+        if ctl.stop_requested() {
+            return ServeExit::Stopped;
+        }
+        // Update point: between steps, all invariants hold (if quiescent).
+        let due = {
+            let mut pending = ctl.pending.lock();
+            match pending.take() {
+                None => None,
+                Some((request, attempts)) => {
+                    if app.quiescent() {
+                        Some(request)
+                    } else {
+                        ctl.quiesce_refusals.fetch_add(1, Ordering::Relaxed);
+                        if attempts + 1 >= request.max_quiesce_attempts {
+                            ctl.updates_abandoned.fetch_add(1, Ordering::Relaxed);
+                            None // timing error: abandoned
+                        } else {
+                            *pending = Some((request, attempts + 1));
+                            None
+                        }
+                    }
+                }
+            }
+        };
+        if let Some(request) = due {
+            let begin = Instant::now();
+            match registry.perform_in_place(app, &request.to) {
+                Ok(updated) => {
+                    app = updated;
+                    *ctl.last_pause_nanos.lock() = Some(begin.elapsed().as_nanos() as u64);
+                    ctl.updates_applied.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => return ServeExit::UpdateFailed(e),
+            }
+        }
+        let step = catch_unwind(AssertUnwindSafe(|| app.step(os)));
+        match step {
+            Ok(StepOutcome::Progress) | Ok(StepOutcome::Idle) => {}
+            Ok(StepOutcome::Shutdown) => return ServeExit::Shutdown,
+            Err(payload) => return ServeExit::Crashed(panic_message(&*payload)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{UpdateSpec, VersionEntry};
+    use crate::state::AppState;
+    use crate::version::v;
+    use crate::xform::{FnTransformer, IdentityTransformer};
+    use std::sync::Arc;
+    use vos::{DirectOs, VirtualKernel};
+
+    /// Counts steps; shuts down after `limit`. Quiescent only when the
+    /// count is even, to exercise refusals.
+    struct Stepper {
+        version: Version,
+        count: u64,
+        limit: u64,
+        quiesce_on_even_only: bool,
+        crash_at: Option<u64>,
+    }
+
+    impl Stepper {
+        fn boxed(version: &str, limit: u64) -> Box<dyn DsuApp> {
+            Box::new(Stepper {
+                version: v(version),
+                count: 0,
+                limit,
+                quiesce_on_even_only: false,
+                crash_at: None,
+            })
+        }
+    }
+
+    impl DsuApp for Stepper {
+        fn version(&self) -> &Version {
+            &self.version
+        }
+
+        fn step(&mut self, _os: &mut dyn Os) -> StepOutcome {
+            self.count += 1;
+            if Some(self.count) == self.crash_at {
+                panic!("stepper crashed deliberately at {}", self.count);
+            }
+            if self.count >= self.limit {
+                StepOutcome::Shutdown
+            } else {
+                StepOutcome::Progress
+            }
+        }
+
+        fn snapshot(&self) -> AppState {
+            AppState::new(self.count)
+        }
+
+        fn into_state(self: Box<Self>) -> AppState {
+            AppState::new(self.count)
+        }
+
+        fn quiescent(&self) -> bool {
+            !self.quiesce_on_even_only || self.count.is_multiple_of(2)
+        }
+    }
+
+    fn two_version_registry() -> VersionRegistry {
+        let mut r = VersionRegistry::new();
+        for ver in ["1.0", "2.0"] {
+            let vv = v(ver);
+            let vv2 = vv.clone();
+            r.register_version(VersionEntry::new(
+                vv.clone(),
+                move || Stepper::boxed(vv.as_str(), 1_000_000),
+                move |state| {
+                    Ok(Box::new(Stepper {
+                        version: vv2.clone(),
+                        count: state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                        limit: 1_000_000,
+                        quiesce_on_even_only: false,
+                        crash_at: None,
+                    }))
+                },
+            ));
+        }
+        r.register_update(UpdateSpec::new("1.0", "2.0", Arc::new(IdentityTransformer)));
+        r
+    }
+
+    fn test_os() -> DirectOs {
+        DirectOs::new(VirtualKernel::new())
+    }
+
+    #[test]
+    fn serve_runs_until_shutdown() {
+        let registry = VersionRegistry::new();
+        let ctl = DsuControl::new();
+        let exit = serve(Stepper::boxed("1.0", 5), &mut test_os(), &registry, &ctl);
+        assert!(matches!(exit, ServeExit::Shutdown));
+    }
+
+    #[test]
+    fn serve_honors_stop() {
+        let registry = VersionRegistry::new();
+        let ctl = DsuControl::new();
+        ctl.request_stop();
+        let exit = serve(Stepper::boxed("1.0", 5), &mut test_os(), &registry, &ctl);
+        assert!(matches!(exit, ServeExit::Stopped));
+    }
+
+    #[test]
+    fn serve_applies_update_and_records_pause() {
+        let registry = two_version_registry();
+        let ctl = DsuControl::new();
+        ctl.request_update(UpdateRequest::new("2.0")).unwrap();
+        // App will shut down long after the update applies; stop via
+        // count: run with small limit instead.
+        let app = Stepper::boxed("1.0", 3);
+        let exit = serve(app, &mut test_os(), &registry, &ctl);
+        assert!(matches!(exit, ServeExit::Shutdown));
+        assert_eq!(ctl.updates_applied.load(Ordering::Relaxed), 1);
+        assert!(ctl.last_pause_nanos().is_some());
+        assert!(!ctl.update_pending());
+    }
+
+    #[test]
+    fn only_one_pending_update() {
+        let ctl = DsuControl::new();
+        ctl.request_update(UpdateRequest::new("2.0")).unwrap();
+        assert_eq!(
+            ctl.request_update(UpdateRequest::new("2.0")).unwrap_err(),
+            UpdateError::UpdateInProgress
+        );
+    }
+
+    #[test]
+    fn update_to_unknown_version_fails_the_service() {
+        let registry = two_version_registry();
+        let ctl = DsuControl::new();
+        ctl.request_update(UpdateRequest::new("9.9")).unwrap();
+        let exit = serve(Stepper::boxed("1.0", 10), &mut test_os(), &registry, &ctl);
+        assert!(matches!(
+            exit,
+            ServeExit::UpdateFailed(UpdateError::NoUpdatePath { .. })
+        ));
+    }
+
+    #[test]
+    fn xform_failure_kills_kitsune_service() {
+        let mut registry = two_version_registry();
+        registry.register_update(UpdateSpec::new(
+            "2.0",
+            "1.0",
+            Arc::new(FnTransformer::new("always fails", |_| {
+                Err(UpdateError::XformFailed("injected".into()))
+            })),
+        ));
+        let ctl = DsuControl::new();
+        ctl.request_update(UpdateRequest::new("1.0")).unwrap();
+        let exit = serve(Stepper::boxed("2.0", 10), &mut test_os(), &registry, &ctl);
+        assert!(matches!(
+            exit,
+            ServeExit::UpdateFailed(UpdateError::XformFailed(_))
+        ));
+    }
+
+    #[test]
+    fn crash_is_reported_with_message() {
+        let registry = VersionRegistry::new();
+        let ctl = DsuControl::new();
+        let app = Box::new(Stepper {
+            version: v("1.0"),
+            count: 0,
+            limit: 100,
+            quiesce_on_even_only: false,
+            crash_at: Some(3),
+        });
+        let exit = serve(app, &mut test_os(), &registry, &ctl);
+        match exit {
+            ServeExit::Crashed(msg) => assert!(msg.contains("deliberately"), "{msg}"),
+            other => panic!("expected crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_quiescent_updates_are_refused_then_applied() {
+        let registry = two_version_registry();
+        let ctl = DsuControl::new();
+        let app = Box::new(Stepper {
+            version: v("1.0"),
+            count: 1, // odd: not quiescent under the flag below
+            limit: 10,
+            quiesce_on_even_only: true,
+            crash_at: None,
+        });
+        ctl.request_update(UpdateRequest::new("2.0")).unwrap();
+        let exit = serve(app, &mut test_os(), &registry, &ctl);
+        assert!(matches!(exit, ServeExit::Shutdown));
+        assert_eq!(ctl.updates_applied.load(Ordering::Relaxed), 1);
+        assert!(ctl.quiesce_refusals.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn quiesce_budget_exhaustion_abandons_update() {
+        let registry = two_version_registry();
+        let ctl = DsuControl::new();
+        let app = Box::new(Stepper {
+            version: v("1.0"),
+            count: 1,
+            limit: 9, // always odd at update points... count increments each step
+            quiesce_on_even_only: true,
+            crash_at: None,
+        });
+        ctl.request_update(UpdateRequest {
+            to: v("2.0"),
+            max_quiesce_attempts: 1,
+        })
+        .unwrap();
+        let exit = serve(app, &mut test_os(), &registry, &ctl);
+        assert!(matches!(exit, ServeExit::Shutdown));
+        assert_eq!(ctl.updates_abandoned.load(Ordering::Relaxed), 1);
+        assert_eq!(ctl.updates_applied.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn panic_message_handles_both_payload_kinds() {
+        let e1 = catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(&*e1), "static str");
+        let e2 = catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(&*e2), "formatted 7");
+    }
+}

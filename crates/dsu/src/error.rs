@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Failures of the DSU machinery itself (as opposed to crashes of the
+/// application code, which surface as panics caught by the variant
+/// runner).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UpdateError {
+    /// A version string did not parse.
+    BadVersion(String),
+    /// The registry has no entry for this version.
+    UnknownVersion(String),
+    /// No update spec registered for this from→to pair.
+    NoUpdatePath { from: String, to: String },
+    /// The state transformer rejected the state (a *state transformation
+    /// error* in the paper's taxonomy, §2.4).
+    XformFailed(String),
+    /// The new version could not resume from the transformed state.
+    ResumeFailed(String),
+    /// The program did not reach a quiescent update point in time (a
+    /// *timing error*, §2.4).
+    NotQuiescent,
+    /// The update was attempted while another was in flight.
+    UpdateInProgress,
+    /// The snapshot had an unexpected concrete type.
+    StateTypeMismatch,
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::BadVersion(s) => write!(f, "malformed version {s:?}"),
+            UpdateError::UnknownVersion(s) => write!(f, "unknown version {s}"),
+            UpdateError::NoUpdatePath { from, to } => {
+                write!(f, "no update path from {from} to {to}")
+            }
+            UpdateError::XformFailed(m) => write!(f, "state transformation failed: {m}"),
+            UpdateError::ResumeFailed(m) => write!(f, "new version failed to resume: {m}"),
+            UpdateError::NotQuiescent => write!(f, "program did not quiesce at an update point"),
+            UpdateError::UpdateInProgress => write!(f, "an update is already in progress"),
+            UpdateError::StateTypeMismatch => {
+                write!(f, "state snapshot has an unexpected concrete type")
+            }
+        }
+    }
+}
+
+impl Error for UpdateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(UpdateError::NoUpdatePath {
+            from: "1.0".into(),
+            to: "2.0".into()
+        }
+        .to_string()
+        .contains("1.0"));
+        assert!(UpdateError::XformFailed("boom".into())
+            .to_string()
+            .contains("boom"));
+    }
+}

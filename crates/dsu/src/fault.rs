@@ -1,0 +1,72 @@
+/// Injectable state-transformation faults, reproducing the paper's §6.2
+/// error study. Application transformers consult the plan and misbehave
+/// accordingly; everything downstream (divergence detection, rollback)
+/// then exercises the real recovery paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XformFault {
+    /// The transformer returns an error outright (cleanest failure).
+    FailCleanly,
+    /// Forget to copy the store across — "the programmer mistakenly
+    /// forgets to copy over the entries from the old table" (§2.4). The
+    /// follower boots with an empty table and diverges on the first GET.
+    DropState,
+    /// Leave the new field uninitialized instead of defaulting it — "field
+    /// `t` is mistakenly left uninitialized" (§2.4). Reads of migrated
+    /// entries misbehave later.
+    CorruptField,
+    /// Plant a delayed crash, like Memcached's freed-but-still-referenced
+    /// LibEvent memory (§6.2): the new version panics after `after_steps`
+    /// more event-loop iterations.
+    PoisonLater { after_steps: u32 },
+}
+
+/// Fault-injection plan threaded through an update. `Default` is
+/// fault-free.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Misbehaviour of the state transformer, if any.
+    pub xform: Option<XformFault>,
+    /// Skip the leader's `reset_ephemeral` callback, reproducing the
+    /// paper's LibEvent timing error (§5.3/§6.2): leader and follower
+    /// dispatch ready events in different orders and diverge.
+    pub skip_ephemeral_reset: bool,
+    /// Inject a bug into the *new version's code* (the Redis `HMGET`
+    /// crash, §6.2): the updated server panics on a specific input.
+    pub buggy_new_code: bool,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Plan with only a transformer fault.
+    pub fn with_xform(fault: XformFault) -> Self {
+        FaultPlan {
+            xform: Some(fault),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_fault_free() {
+        let p = FaultPlan::none();
+        assert_eq!(p.xform, None);
+        assert!(!p.skip_ephemeral_reset);
+        assert!(!p.buggy_new_code);
+    }
+
+    #[test]
+    fn with_xform_sets_only_that_fault() {
+        let p = FaultPlan::with_xform(XformFault::DropState);
+        assert_eq!(p.xform, Some(XformFault::DropState));
+        assert!(!p.buggy_new_code);
+    }
+}

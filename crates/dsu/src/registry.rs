@@ -1,0 +1,328 @@
+use std::fmt;
+use std::sync::Arc;
+
+use crate::app::DsuApp;
+use crate::error::UpdateError;
+use crate::state::AppState;
+use crate::version::Version;
+use crate::xform::StateTransformer;
+
+type BootFn = Arc<dyn Fn() -> Box<dyn DsuApp> + Send + Sync>;
+type ResumeFn = Arc<dyn Fn(AppState) -> Result<Box<dyn DsuApp>, UpdateError> + Send + Sync>;
+
+/// How to construct one program version: fresh (`boot`) or from a
+/// migrated state snapshot (`resume` — Kitsune's relaunch of `main` in
+/// the new version with state attached).
+#[derive(Clone)]
+pub struct VersionEntry {
+    version: Version,
+    boot: BootFn,
+    resume: ResumeFn,
+}
+
+impl VersionEntry {
+    /// Creates an entry from the two constructors.
+    pub fn new(
+        version: Version,
+        boot: impl Fn() -> Box<dyn DsuApp> + Send + Sync + 'static,
+        resume: impl Fn(AppState) -> Result<Box<dyn DsuApp>, UpdateError> + Send + Sync + 'static,
+    ) -> Self {
+        VersionEntry {
+            version,
+            boot: Arc::new(boot),
+            resume: Arc::new(resume),
+        }
+    }
+
+    /// The version this entry constructs.
+    pub fn version(&self) -> &Version {
+        &self.version
+    }
+}
+
+impl fmt::Debug for VersionEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VersionEntry({})", self.version)
+    }
+}
+
+/// One dynamic update: source and target versions plus the state
+/// transformer that bridges their representations.
+///
+/// The rewrite rules that belong to an update (paper §3.3) are carried
+/// one layer up, in `mvedsua-core`'s `UpdatePackage` — the in-place
+/// Kitsune driver here has no use for them.
+#[derive(Clone)]
+pub struct UpdateSpec {
+    pub from: Version,
+    pub to: Version,
+    pub transformer: Arc<dyn StateTransformer>,
+}
+
+impl UpdateSpec {
+    /// Creates a spec.
+    pub fn new(
+        from: impl Into<Version>,
+        to: impl Into<Version>,
+        transformer: Arc<dyn StateTransformer>,
+    ) -> Self {
+        UpdateSpec {
+            from: from.into(),
+            to: to.into(),
+            transformer,
+        }
+    }
+}
+
+impl fmt::Debug for UpdateSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "UpdateSpec({} -> {}, {})",
+            self.from,
+            self.to,
+            self.transformer.describe()
+        )
+    }
+}
+
+/// All known versions of one application and the update paths between
+/// them.
+#[derive(Clone, Debug, Default)]
+pub struct VersionRegistry {
+    entries: Vec<VersionEntry>,
+    updates: Vec<UpdateSpec>,
+}
+
+impl VersionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        VersionRegistry::default()
+    }
+
+    /// Registers a version's constructors. Re-registering a version
+    /// replaces the previous entry.
+    pub fn register_version(&mut self, entry: VersionEntry) {
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.version == entry.version)
+        {
+            *existing = entry;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Registers an update path.
+    pub fn register_update(&mut self, spec: UpdateSpec) {
+        self.updates.push(spec);
+    }
+
+    /// Versions in registration order.
+    pub fn versions(&self) -> Vec<&Version> {
+        self.entries.iter().map(|e| &e.version).collect()
+    }
+
+    fn entry(&self, version: &Version) -> Result<&VersionEntry, UpdateError> {
+        self.entries
+            .iter()
+            .find(|e| &e.version == version)
+            .ok_or_else(|| UpdateError::UnknownVersion(version.to_string()))
+    }
+
+    /// Boots a fresh instance of `version`.
+    ///
+    /// # Errors
+    /// `UnknownVersion` if unregistered.
+    pub fn boot(&self, version: &Version) -> Result<Box<dyn DsuApp>, UpdateError> {
+        Ok((self.entry(version)?.boot)())
+    }
+
+    /// Resumes `version` from an (already transformed) state snapshot.
+    ///
+    /// # Errors
+    /// `UnknownVersion`, or whatever the resume constructor reports.
+    pub fn resume(
+        &self,
+        version: &Version,
+        state: AppState,
+    ) -> Result<Box<dyn DsuApp>, UpdateError> {
+        (self.entry(version)?.resume)(state)
+    }
+
+    /// Looks up the update spec for `from → to`.
+    ///
+    /// # Errors
+    /// `NoUpdatePath` if none was registered.
+    pub fn update_spec(&self, from: &Version, to: &Version) -> Result<&UpdateSpec, UpdateError> {
+        self.updates
+            .iter()
+            .find(|u| &u.from == from && &u.to == to)
+            .ok_or_else(|| UpdateError::NoUpdatePath {
+                from: from.to_string(),
+                to: to.to_string(),
+            })
+    }
+
+    /// Registered update paths, in registration order.
+    pub fn updates(&self) -> &[UpdateSpec] {
+        &self.updates
+    }
+
+    /// Performs a complete in-place update: extract state from `app`,
+    /// transform it, resume as `to`. This is the Kitsune migration; the
+    /// caller is responsible for only invoking it at a quiescent update
+    /// point.
+    ///
+    /// # Errors
+    /// Any failure of lookup, transformation, or resume. On error the
+    /// old instance is gone — which is exactly why Kitsune-alone cannot
+    /// recover from state-transformation bugs, and MVEDSUA (which runs
+    /// this on a forked copy) can.
+    pub fn perform_in_place(
+        &self,
+        app: Box<dyn DsuApp>,
+        to: &Version,
+    ) -> Result<Box<dyn DsuApp>, UpdateError> {
+        let from = app.version().clone();
+        let spec = self.update_spec(&from, to)?;
+        let old_state = app.into_state();
+        let new_state = spec.transformer.transform(old_state)?;
+        self.resume(to, new_state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::StepOutcome;
+    use crate::version::v;
+    use crate::xform::FnTransformer;
+    use vos::Os;
+
+    struct VNum {
+        version: Version,
+        value: i64,
+    }
+
+    impl DsuApp for VNum {
+        fn version(&self) -> &Version {
+            &self.version
+        }
+
+        fn step(&mut self, _os: &mut dyn Os) -> StepOutcome {
+            StepOutcome::Idle
+        }
+
+        fn snapshot(&self) -> AppState {
+            AppState::new(self.value)
+        }
+
+        fn into_state(self: Box<Self>) -> AppState {
+            AppState::new(self.value)
+        }
+    }
+
+    fn registry() -> VersionRegistry {
+        let mut r = VersionRegistry::new();
+        r.register_version(VersionEntry::new(
+            v("1.0"),
+            || {
+                Box::new(VNum {
+                    version: v("1.0"),
+                    value: 0,
+                })
+            },
+            |state| {
+                Ok(Box::new(VNum {
+                    version: v("1.0"),
+                    value: state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                }))
+            },
+        ));
+        r.register_version(VersionEntry::new(
+            v("2.0"),
+            || {
+                Box::new(VNum {
+                    version: v("2.0"),
+                    value: 0,
+                })
+            },
+            |state| {
+                Ok(Box::new(VNum {
+                    version: v("2.0"),
+                    value: state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                }))
+            },
+        ));
+        r.register_update(UpdateSpec::new(
+            "1.0",
+            "2.0",
+            Arc::new(FnTransformer::new("double the counter", |s| {
+                let n: i64 = s.downcast().map_err(|_| UpdateError::StateTypeMismatch)?;
+                Ok(AppState::new(n * 2))
+            })),
+        ));
+        r
+    }
+
+    #[test]
+    fn boot_and_resume() {
+        let r = registry();
+        let app = r.boot(&v("1.0")).unwrap();
+        assert_eq!(app.version(), &v("1.0"));
+        let app = r.resume(&v("2.0"), AppState::new(9i64)).unwrap();
+        assert_eq!(app.snapshot().downcast::<i64>().unwrap(), 9);
+    }
+
+    #[test]
+    fn unknown_version_errors() {
+        let r = registry();
+        assert_eq!(
+            r.boot(&v("3.0")).err().unwrap(),
+            UpdateError::UnknownVersion("3.0".into())
+        );
+    }
+
+    #[test]
+    fn in_place_update_transforms_state() {
+        let r = registry();
+        let app = r.resume(&v("1.0"), AppState::new(21i64)).unwrap();
+        let updated = r.perform_in_place(app, &v("2.0")).unwrap();
+        assert_eq!(updated.version(), &v("2.0"));
+        assert_eq!(updated.snapshot().downcast::<i64>().unwrap(), 42);
+    }
+
+    #[test]
+    fn missing_update_path_errors() {
+        let r = registry();
+        let app = r.boot(&v("2.0")).unwrap();
+        assert_eq!(
+            r.perform_in_place(app, &v("1.0")).err().unwrap(),
+            UpdateError::NoUpdatePath {
+                from: "2.0".into(),
+                to: "1.0".into()
+            }
+        );
+    }
+
+    #[test]
+    fn reregistering_a_version_replaces_it() {
+        let mut r = registry();
+        assert_eq!(r.versions().len(), 2);
+        r.register_version(VersionEntry::new(
+            v("1.0"),
+            || {
+                Box::new(VNum {
+                    version: v("1.0"),
+                    value: 99,
+                })
+            },
+            |_| Err(UpdateError::StateTypeMismatch),
+        ));
+        assert_eq!(r.versions().len(), 2, "replaced, not appended");
+        let app = r.boot(&v("1.0")).unwrap();
+        assert_eq!(app.snapshot().downcast::<i64>().unwrap(), 99);
+    }
+}

@@ -1,0 +1,135 @@
+use std::any::Any;
+use std::fmt;
+
+/// Object-safe bridge that lets a type-erased state be cloned.
+trait StateObject: Any + Send {
+    fn clone_state(&self) -> Box<dyn StateObject>;
+    fn as_any(&self) -> &dyn Any;
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    fn type_name(&self) -> &'static str;
+}
+
+impl<T: Any + Send + Clone> StateObject for T {
+    fn clone_state(&self) -> Box<dyn StateObject> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+
+    fn type_name(&self) -> &'static str {
+        std::any::type_name::<T>()
+    }
+}
+
+/// A type-erased, cloneable application state snapshot.
+///
+/// This is what flows through the DSU machinery: [`DsuApp::snapshot`]
+/// produces one (MVEDSUA's *fork* — the deep clone stands in for the
+/// kernel's copy-on-write `fork(2)`, see DESIGN.md §2), a
+/// [`StateTransformer`](crate::StateTransformer) rewrites it into the
+/// next version's representation, and the new version's `resume`
+/// constructor consumes it.
+///
+/// [`DsuApp::snapshot`]: crate::DsuApp::snapshot
+pub struct AppState(Box<dyn StateObject>);
+
+impl AppState {
+    /// Wraps a concrete state value.
+    pub fn new<T: Any + Send + Clone>(value: T) -> Self {
+        AppState(Box::new(value))
+    }
+
+    /// Recovers the concrete state, failing with `self` intact if the
+    /// type does not match.
+    pub fn downcast<T: Any>(self) -> Result<T, AppState> {
+        if self.0.as_any().is::<T>() {
+            let boxed = self.0.into_any().downcast::<T>().expect("checked above");
+            Ok(*boxed)
+        } else {
+            Err(self)
+        }
+    }
+
+    /// Borrows the concrete state if the type matches.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.as_any().downcast_ref::<T>()
+    }
+
+    /// True if the snapshot holds a `T`.
+    pub fn is<T: Any>(&self) -> bool {
+        self.0.as_any().is::<T>()
+    }
+
+    /// The concrete Rust type name inside (diagnostics only).
+    pub fn type_name(&self) -> &'static str {
+        self.0.type_name()
+    }
+}
+
+impl Clone for AppState {
+    fn clone(&self) -> Self {
+        AppState(self.0.clone_state())
+    }
+}
+
+impl fmt::Debug for AppState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AppState({})", self.type_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct StoreV1 {
+        entries: Vec<(String, String)>,
+    }
+
+    #[test]
+    fn round_trips_concrete_state() {
+        let s = AppState::new(StoreV1 {
+            entries: vec![("k".into(), "v".into())],
+        });
+        assert!(s.is::<StoreV1>());
+        let back: StoreV1 = s.downcast().unwrap();
+        assert_eq!(back.entries[0].0, "k");
+    }
+
+    #[test]
+    fn wrong_downcast_returns_state_intact() {
+        let s = AppState::new(42u32);
+        let s = s.downcast::<String>().unwrap_err();
+        assert_eq!(s.downcast::<u32>().unwrap(), 42);
+    }
+
+    #[test]
+    fn clone_is_deep_for_owned_data() {
+        let s1 = AppState::new(vec![1u8, 2, 3]);
+        let s2 = s1.clone();
+        let mut v1: Vec<u8> = s1.downcast().unwrap();
+        v1.push(4);
+        let v2: Vec<u8> = s2.downcast().unwrap();
+        assert_eq!(v2, vec![1, 2, 3], "clone unaffected by mutation");
+    }
+
+    #[test]
+    fn debug_shows_type_name() {
+        let s = AppState::new(7i64);
+        assert!(format!("{s:?}").contains("i64"));
+    }
+
+    #[test]
+    fn downcast_ref_borrows() {
+        let s = AppState::new("hello".to_string());
+        assert_eq!(s.downcast_ref::<String>().unwrap(), "hello");
+        assert!(s.downcast_ref::<u8>().is_none());
+    }
+}

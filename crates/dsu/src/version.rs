@@ -1,0 +1,164 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::UpdateError;
+
+/// A release identifier, e.g. `2.0.1`.
+///
+/// Ordered component-wise, with missing trailing components treated as
+/// zero (`1.2` == `1.2.0`), which matches how the paper's server version
+/// sequences (`Vsftpd 1.1.0 … 2.0.6`) are compared.
+#[derive(Clone, Debug, Eq)]
+pub struct Version {
+    text: String,
+    parts: Vec<u64>,
+}
+
+impl Version {
+    /// Parses a dotted version string.
+    ///
+    /// # Errors
+    /// Fails if any component is not a decimal integer, or the string is
+    /// empty.
+    pub fn parse(text: &str) -> Result<Self, UpdateError> {
+        if text.is_empty() {
+            return Err(UpdateError::BadVersion(text.to_string()));
+        }
+        let parts = text
+            .split('.')
+            .map(|p| p.parse::<u64>())
+            .collect::<Result<Vec<u64>, _>>()
+            .map_err(|_| UpdateError::BadVersion(text.to_string()))?;
+        Ok(Version {
+            text: text.to_string(),
+            parts,
+        })
+    }
+
+    /// The original dotted text.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// Numeric components.
+    pub fn components(&self) -> &[u64] {
+        &self.parts
+    }
+
+    fn cmp_parts(&self, other: &Self) -> Ordering {
+        let n = self.parts.len().max(other.parts.len());
+        for i in 0..n {
+            let a = self.parts.get(i).copied().unwrap_or(0);
+            let b = other.parts.get(i).copied().unwrap_or(0);
+            match a.cmp(&b) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialEq for Version {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_parts(other) == Ordering::Equal
+    }
+}
+
+impl std::hash::Hash for Version {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash the normalized (trailing-zero-stripped) components so that
+        // `1.2` and `1.2.0`, which compare equal, hash identically.
+        let mut parts = self.parts.as_slice();
+        while let Some((&0, rest)) = parts.split_last() {
+            parts = rest;
+        }
+        parts.hash(state);
+    }
+}
+
+impl PartialOrd for Version {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Version {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_parts(other)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl FromStr for Version {
+    type Err = UpdateError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Version::parse(s)
+    }
+}
+
+/// Convenience constructor used pervasively in tests and registries.
+///
+/// # Panics
+/// Panics on malformed input; use [`Version::parse`] for fallible
+/// construction.
+pub fn v(text: &str) -> Version {
+    Version::parse(text).expect("invalid version literal")
+}
+
+impl From<&str> for Version {
+    fn from(s: &str) -> Self {
+        v(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_component_wise() {
+        assert!(v("1.1.0") < v("1.1.1"));
+        assert!(v("1.2.2") < v("2.0.0"));
+        assert!(v("2.0.0") < v("2.0.6"));
+        assert!(v("1.10") > v("1.9"));
+    }
+
+    #[test]
+    fn missing_components_are_zero() {
+        assert_eq!(v("1.2"), v("1.2.0"));
+        assert!(v("1.2") < v("1.2.1"));
+    }
+
+    #[test]
+    fn equal_versions_hash_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |ver: &Version| {
+            let mut s = DefaultHasher::new();
+            ver.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&v("1.2")), h(&v("1.2.0")));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Version::parse("").is_err());
+        assert!(Version::parse("1.x").is_err());
+        assert!(Version::parse("v2.0").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_text() {
+        assert_eq!(v("2.0.3").to_string(), "2.0.3");
+        assert_eq!("2.0.3".parse::<Version>().unwrap(), v("2.0.3"));
+    }
+}

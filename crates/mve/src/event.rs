@@ -1,0 +1,63 @@
+use std::sync::Arc;
+
+use vos::{SysRet, Syscall};
+
+/// One intercepted system call with the result the leader obtained.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyscallRecord {
+    pub call: Syscall,
+    pub ret: SysRet,
+}
+
+/// In-band control traffic sharing the ring with syscall records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlRecord {
+    /// The leader is stepping down (paper Figure 2, t4): everything
+    /// before this record is old-leader traffic; the consumer becomes
+    /// the new leader once it has drained up to here.
+    Demote,
+}
+
+/// A sequenced entry in the MVE event ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventRecord {
+    /// A logged syscall, tagged with its sequence number.
+    Syscall { seq: u64, record: SyscallRecord },
+    /// A control marker.
+    Control { seq: u64, record: ControlRecord },
+}
+
+impl EventRecord {
+    /// The record's position in the leader's event stream.
+    pub fn seq(&self) -> u64 {
+        match self {
+            EventRecord::Syscall { seq, .. } | EventRecord::Control { seq, .. } => *seq,
+        }
+    }
+}
+
+/// The shared ring carrying [`EventRecord`]s between two variants.
+pub type EventRing = Arc<ring::Ring<EventRecord>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vos::Fd;
+
+    #[test]
+    fn seq_is_uniform_across_kinds() {
+        let s = EventRecord::Syscall {
+            seq: 7,
+            record: SyscallRecord {
+                call: Syscall::Close { fd: Fd::from_raw(3) },
+                ret: SysRet::Unit,
+            },
+        };
+        let c = EventRecord::Control {
+            seq: 8,
+            record: ControlRecord::Demote,
+        };
+        assert_eq!(s.seq(), 7);
+        assert_eq!(c.seq(), 8);
+    }
+}

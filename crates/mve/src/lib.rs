@@ -1,0 +1,50 @@
+//! Varan-like multi-version execution (MVE) engine.
+//!
+//! Varan (ASPLOS'15) runs N variants of a program over the same inputs:
+//! the **leader** performs real system calls and logs `(call, result)`
+//! records into a shared ring buffer; **followers** replay the log,
+//! checking that they issue equivalent calls and receiving the leader's
+//! results instead of touching the kernel. A mismatch is a
+//! **divergence**. MVEDSUA (this reproduction's subject) drives this
+//! machinery across *different versions* of a program, reconciling the
+//! expected differences with the rewrite-rule DSL from `mvedsua-dsl`.
+//!
+//! The central type is [`VariantOs`]: an implementation of
+//! [`vos::Os`] whose *role* changes over the MVEDSUA lifecycle:
+//!
+//! * **Single** — sole leader, no follower attached: direct kernel access
+//!   plus the lightweight state tracking Varan needs to accept a
+//!   follower later (§4's "single-leader mode"). The paper's
+//!   `Varan-1`/`Mvedsua-1` configurations run here.
+//! * **Leader** — executes and logs into the outgoing ring. Blocks when
+//!   the ring fills (the Figure 7 mechanism). Optionally runs in
+//!   *lockstep* ([`LockstepMode`]) to model the MUC and Mx baselines.
+//! * **Follower** — replays the incoming ring through a
+//!   [`dsl::RuleSet`], raising [`Divergence`] on mismatch.
+//!
+//! Role transitions are carried by in-band control records and ring
+//! teardown, so both sides always agree on *where in the event stream*
+//! the switch happened:
+//!
+//! * leader demotion pushes [`ControlRecord::Demote`] and the leader
+//!   becomes a follower on the reverse ring; the follower becomes leader
+//!   when it consumes the `Demote` record (paper Figure 2, t4–t5);
+//! * **poisoning** a ring kills its follower (rollback / retirement) and
+//!   reverts its leader to Single;
+//! * **closing** a ring (leader crashed) lets the follower drain what
+//!   remains and then take over as Single — promotion without losing a
+//!   single buffered request.
+
+mod divergence;
+mod event;
+mod lockstep;
+mod project;
+mod stats;
+mod variant;
+
+pub use divergence::{Divergence, RetireReason, RetiredSignal};
+pub use event::{ControlRecord, EventRecord, EventRing, SyscallRecord};
+pub use lockstep::LockstepMode;
+pub use project::{reconstruct_result, request_matches, syscall_event};
+pub use stats::SyscallStats;
+pub use variant::{FollowerConfig, LeaderConfig, Notice, NoticeKind, Role, VariantId, VariantOs};

@@ -1,0 +1,40 @@
+/// Synchronization discipline of a leader, used to model the baseline
+/// systems the paper compares against (Table 2's last rows).
+///
+/// Varan's decoupled ring buffer is the default (`None` at the
+/// [`LeaderConfig`](crate::LeaderConfig) level); lockstep modes force the
+/// leader to rendezvous with its follower and are what make MUC and Mx
+/// pay 23–87% and 3–16× overheads respectively.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockstepMode {
+    /// MUC-style lockstep: after every logged syscall the leader waits
+    /// for the follower to consume it before proceeding. This is also
+    /// why MUC "cannot tolerate update-induced pauses" — while the
+    /// follower updates, the leader is stuck at the first rendezvous.
+    Muc,
+    /// Mx-style double synchronization: the leader rendezvouses once to
+    /// hand over the call and once more to collect the comparison
+    /// verdict, modelling Mx's synchronize-at-every-syscall design.
+    Mx,
+}
+
+impl LockstepMode {
+    /// How many rendezvous rounds each syscall costs.
+    pub fn rounds(self) -> u32 {
+        match self {
+            LockstepMode::Muc => 1,
+            LockstepMode::Mx => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_match_the_modeled_systems() {
+        assert_eq!(LockstepMode::Muc.rounds(), 1);
+        assert_eq!(LockstepMode::Mx.rounds(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use vos::{Fd, SysRet, Syscall};
+
+/// The kernel-state tracking Varan performs even in single-leader mode
+/// (paper §4): logical descriptors and counters must be current so a
+/// follower can be attached mid-execution. The bookkeeping is what gives
+/// the `Varan-1` configuration its small but nonzero overhead — this
+/// reproduction pays the same kind of cost (a mutex-protected set update
+/// per descriptor-changing call, an atomic bump per call) rather than
+/// simulating one.
+#[derive(Debug, Default)]
+pub struct SyscallStats {
+    /// Total syscalls intercepted.
+    pub intercepted: AtomicU64,
+    /// Bytes moved through read results.
+    pub bytes_read: AtomicU64,
+    /// Bytes moved through write payloads.
+    pub bytes_written: AtomicU64,
+    /// Live descriptor table (the "kernel state relevant to MVE").
+    live_fds: Mutex<HashSet<Fd>>,
+}
+
+impl SyscallStats {
+    /// Fresh, empty tracking state.
+    pub fn new() -> Self {
+        SyscallStats::default()
+    }
+
+    /// Records one intercepted call and its result.
+    pub fn track(&self, call: &Syscall, ret: &SysRet) {
+        self.intercepted.fetch_add(1, Ordering::Relaxed);
+        match (call, ret) {
+            (_, SysRet::Fd(fd)) => {
+                self.live_fds.lock().insert(*fd);
+            }
+            (Syscall::Close { fd }, SysRet::Unit) => {
+                self.live_fds.lock().remove(fd);
+            }
+            (Syscall::Read { .. } | Syscall::ReadTimeout { .. }, SysRet::Data(d)) => {
+                self.bytes_read.fetch_add(d.len() as u64, Ordering::Relaxed);
+            }
+            (Syscall::Write { data, .. }, SysRet::Size(_)) => {
+                self.bytes_written
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of descriptors currently believed live.
+    pub fn live_fd_count(&self) -> usize {
+        self.live_fds.lock().len()
+    }
+
+    /// Total intercepted calls.
+    pub fn intercepted_count(&self) -> u64 {
+        self.intercepted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_fd_lifecycle() {
+        let s = SyscallStats::new();
+        s.track(
+            &Syscall::Accept {
+                listener: Fd::from_raw(3),
+            },
+            &SysRet::Fd(Fd::from_raw(9)),
+        );
+        assert_eq!(s.live_fd_count(), 1);
+        s.track(&Syscall::Close { fd: Fd::from_raw(9) }, &SysRet::Unit);
+        assert_eq!(s.live_fd_count(), 0);
+        assert_eq!(s.intercepted_count(), 2);
+    }
+
+    #[test]
+    fn tracks_byte_counters() {
+        let s = SyscallStats::new();
+        s.track(
+            &Syscall::Read {
+                fd: Fd::from_raw(9),
+                max: 64,
+            },
+            &SysRet::Data(b"abcd".to_vec()),
+        );
+        s.track(
+            &Syscall::Write {
+                fd: Fd::from_raw(9),
+                data: b"xy".to_vec(),
+            },
+            &SysRet::Size(2),
+        );
+        assert_eq!(s.bytes_read.load(Ordering::Relaxed), 4);
+        assert_eq!(s.bytes_written.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn failed_closes_do_not_untrack() {
+        let s = SyscallStats::new();
+        s.track(&Syscall::Listen { port: 1 }, &SysRet::Fd(Fd::from_raw(3)));
+        s.track(
+            &Syscall::Close { fd: Fd::from_raw(3) },
+            &SysRet::Err(vos::Errno::BadFd),
+        );
+        assert_eq!(s.live_fd_count(), 1);
+    }
+}

@@ -1,0 +1,615 @@
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::Sender;
+use dsl::{Builtins, Event, RuleSet};
+use parking_lot::Mutex;
+use ring::RingError;
+use vos::{CtlOp, Fd, FileStat, OpenMode, Os, OsResult, SysRet, Syscall, VirtualKernel};
+
+use crate::divergence::{Divergence, RetireReason, RetiredSignal};
+use crate::event::{ControlRecord, EventRecord, EventRing, SyscallRecord};
+use crate::lockstep::LockstepMode;
+use crate::project::{reconstruct_result, request_matches, syscall_event};
+use crate::stats::SyscallStats;
+
+/// Identifies a variant in notices and logs (0 = the original leader,
+/// 1 = first forked follower, ...).
+pub type VariantId = u32;
+
+/// How long a follower waits for additional leader events when a
+/// multi-event rule's prefix matches (Figure 5-style rules).
+const WINDOW_EXTEND_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Leader-side configuration: the outgoing ring and the synchronization
+/// discipline.
+#[derive(Clone)]
+pub struct LeaderConfig {
+    pub ring: EventRing,
+    /// `None` is Varan's decoupled design; `Some` models MUC/Mx.
+    pub lockstep: Option<LockstepMode>,
+}
+
+/// Follower-side configuration: the incoming ring, the rewrite rules
+/// reconciling version differences, and what to become when the leader
+/// demotes itself.
+#[derive(Clone)]
+pub struct FollowerConfig {
+    pub ring: EventRing,
+    pub rules: Arc<RuleSet>,
+    pub builtins: Arc<Builtins>,
+    /// Role to assume upon consuming [`ControlRecord::Demote`]:
+    /// `Some` → leader on that ring (the updated-leader stage);
+    /// `None` → sole leader immediately (the stage is bypassed, which the
+    /// paper permits when reverse mappings are too hard, §3.2).
+    pub promote_to: Option<LeaderConfig>,
+}
+
+/// Coarse role, for status reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    Single,
+    Leader,
+    Follower,
+}
+
+/// Role-transition notifications emitted toward the coordinator.
+#[derive(Clone, Debug)]
+pub struct Notice {
+    pub variant: VariantId,
+    pub kind: NoticeKind,
+}
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NoticeKind {
+    /// Leader appended `Demote` and became a follower on the reverse
+    /// ring (t4 in Figure 2).
+    Demoted,
+    /// Follower consumed `Demote` and became the leader (t5).
+    BecameLeader,
+    /// The variant became the sole leader: its ring was poisoned
+    /// (rollback/retirement of the peer) or closed (peer crashed).
+    BecameSingle,
+}
+
+struct LeaderState {
+    ring: EventRing,
+    lockstep: Option<LockstepMode>,
+    seq: u64,
+}
+
+struct FollowerState {
+    ring: EventRing,
+    rules: Arc<RuleSet>,
+    builtins: Arc<Builtins>,
+    expected: VecDeque<Event>,
+    last_seq: u64,
+    promote_to: Option<LeaderConfig>,
+}
+
+enum RoleState {
+    Single,
+    Leader(LeaderState),
+    Follower(FollowerState),
+}
+
+enum FollowerVerdict {
+    Ret(SysRet),
+    Promote,
+    Single,
+}
+
+/// The MVE syscall interface: one per variant, implementing [`vos::Os`]
+/// with a role that evolves over the MVEDSUA lifecycle (see the crate
+/// docs for the full protocol).
+pub struct VariantOs {
+    id: VariantId,
+    kernel: Arc<VirtualKernel>,
+    pid: u32,
+    role: RoleState,
+    stats: Arc<SyscallStats>,
+    notices: Option<Sender<Notice>>,
+    demote_slot: Arc<Mutex<Option<FollowerConfig>>>,
+}
+
+impl VariantOs {
+    /// A variant starting in single-leader mode (how every MVEDSUA
+    /// deployment begins, t0 in Figure 2).
+    pub fn single(id: VariantId, kernel: Arc<VirtualKernel>, notices: Option<Sender<Notice>>) -> Self {
+        let pid = kernel.alloc_pid();
+        VariantOs {
+            id,
+            kernel,
+            pid,
+            role: RoleState::Single,
+            stats: Arc::new(SyscallStats::new()),
+            notices,
+            demote_slot: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// A variant starting as a follower (the freshly forked, updated
+    /// copy).
+    pub fn follower(
+        id: VariantId,
+        kernel: Arc<VirtualKernel>,
+        config: FollowerConfig,
+        notices: Option<Sender<Notice>>,
+    ) -> Self {
+        let pid = kernel.alloc_pid();
+        VariantOs {
+            id,
+            kernel,
+            pid,
+            role: RoleState::Follower(FollowerState {
+                ring: config.ring,
+                rules: config.rules,
+                builtins: config.builtins,
+                expected: VecDeque::new(),
+                last_seq: 0,
+                promote_to: config.promote_to,
+            }),
+            stats: Arc::new(SyscallStats::new()),
+            notices,
+            demote_slot: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Switches a single-leader variant to leader mode on `config.ring`
+    /// — invoked by the coordinator at the fork point (t1).
+    ///
+    /// # Panics
+    /// Panics if the variant is not in single mode; the coordinator owns
+    /// the stage machine and never calls this otherwise.
+    pub fn attach_follower(&mut self, config: LeaderConfig) {
+        assert!(
+            matches!(self.role, RoleState::Single),
+            "attach_follower requires single-leader mode"
+        );
+        self.role = RoleState::Leader(LeaderState {
+            ring: config.ring,
+            lockstep: config.lockstep,
+            seq: 0,
+        });
+    }
+
+    /// The slot through which the coordinator requests demotion. The
+    /// variant runner takes from it **at update points** (between
+    /// application steps) and calls [`VariantOs::demote_now`]: stepping
+    /// down mid-command would split multi-syscall sequences across the
+    /// leader switch and trip the rewrite rules over half-pairs.
+    pub fn demote_slot(&self) -> Arc<Mutex<Option<FollowerConfig>>> {
+        self.demote_slot.clone()
+    }
+
+    /// Takes a pending demotion request, if any (runner-side helper).
+    pub fn take_demote_request(&self) -> Option<FollowerConfig> {
+        self.demote_slot.lock().take()
+    }
+
+    /// Steps down as leader (paper t4): appends the in-band `Demote`
+    /// marker and becomes a follower per `config`. Everything logged
+    /// before the marker is old-leader traffic; the peer follower
+    /// becomes the new leader when it consumes the marker.
+    ///
+    /// Call only at an update point — between application steps, with no
+    /// multi-syscall operation in flight.
+    ///
+    /// # Panics
+    /// Panics unless the variant is currently the leader.
+    pub fn demote_now(&mut self, config: FollowerConfig) {
+        // Notify *before* pushing the marker: the follower's
+        // BecameLeader notice can only follow its pop of the marker, so
+        // the coordinator observes Demoted -> BecameLeader in order.
+        self.notify(NoticeKind::Demoted);
+        match &mut self.role {
+            RoleState::Leader(state) => {
+                let seq = state.seq + 1;
+                state.seq = seq;
+                let _ = state.ring.push(EventRecord::Control {
+                    seq,
+                    record: ControlRecord::Demote,
+                });
+            }
+            _ => panic!("demote_now requires leader mode"),
+        }
+        self.role = RoleState::Follower(FollowerState {
+            ring: config.ring,
+            rules: config.rules,
+            builtins: config.builtins,
+            expected: VecDeque::new(),
+            last_seq: 0,
+            promote_to: config.promote_to,
+        });
+    }
+
+    /// Shared interception statistics.
+    pub fn stats(&self) -> Arc<SyscallStats> {
+        self.stats.clone()
+    }
+
+    /// Current coarse role.
+    pub fn role(&self) -> Role {
+        match self.role {
+            RoleState::Single => Role::Single,
+            RoleState::Leader(_) => Role::Leader,
+            RoleState::Follower(_) => Role::Follower,
+        }
+    }
+
+    /// This variant's id.
+    pub fn id(&self) -> VariantId {
+        self.id
+    }
+
+    /// The kernel this variant runs against.
+    pub fn kernel(&self) -> &Arc<VirtualKernel> {
+        &self.kernel
+    }
+
+    /// Severs this variant's MVE links after it crashed or diverged, so
+    /// the surviving peer recovers autonomously:
+    ///
+    /// * a dead **follower** poisons its incoming ring — the leader's
+    ///   next push reverts it to single-leader mode (rollback);
+    /// * a dead **leader** closes its outgoing ring — the follower
+    ///   drains the buffered records and takes over (promotion);
+    /// * a single variant has no links to sever.
+    pub fn teardown_on_crash(&self) {
+        match &self.role {
+            RoleState::Single => {}
+            RoleState::Leader(state) => state.ring.close(),
+            RoleState::Follower(state) => state.ring.poison(),
+        }
+    }
+
+    fn notify(&self, kind: NoticeKind) {
+        send_notice(&self.notices, self.id, kind);
+    }
+}
+
+fn send_notice(notices: &Option<Sender<Notice>>, id: VariantId, kind: NoticeKind) {
+    if let Some(tx) = notices {
+        let _ = tx.send(Notice { variant: id, kind });
+    }
+}
+
+/// Executes `call` against the real kernel.
+fn execute_call(k: &Arc<VirtualKernel>, pid: u32, call: &Syscall) -> SysRet {
+    fn wrap<T>(r: OsResult<T>, f: impl FnOnce(T) -> SysRet) -> SysRet {
+        match r {
+            Ok(v) => f(v),
+            Err(e) => SysRet::Err(e),
+        }
+    }
+    match call {
+            Syscall::Listen { port } => wrap(k.listen(*port), SysRet::Fd),
+            Syscall::Accept { listener } => wrap(k.accept(*listener), SysRet::Fd),
+            Syscall::Read { fd, max } => wrap(k.read(*fd, *max, None), SysRet::Data),
+            Syscall::ReadTimeout {
+                fd,
+                max,
+                timeout_ms,
+            } => wrap(
+                k.read(*fd, *max, Some(Duration::from_millis(*timeout_ms))),
+                SysRet::Data,
+            ),
+            Syscall::Write { fd, data } => wrap(k.write(*fd, data), SysRet::Size),
+            Syscall::Close { fd } => wrap(k.close(*fd), |_| SysRet::Unit),
+            Syscall::EpollCreate => wrap(k.epoll_create(), SysRet::Fd),
+            Syscall::EpollCtl { ep, op, fd } => wrap(k.epoll_ctl(*ep, *op, *fd), |_| SysRet::Unit),
+            Syscall::EpollWait {
+                ep,
+                max,
+                timeout_ms,
+            } => wrap(
+                k.epoll_wait(*ep, *max, Duration::from_millis(*timeout_ms)),
+                SysRet::Fds,
+            ),
+            Syscall::FsOpen { path, mode } => wrap(k.fs_open(path, *mode), SysRet::Fd),
+            Syscall::FsUnlink { path } => wrap(k.fs_unlink(path), |_| SysRet::Unit),
+            Syscall::FsStat { path } => wrap(k.fs_stat(path), SysRet::Stat),
+            Syscall::FsList { path } => wrap(k.fs_list(path), SysRet::Names),
+            Syscall::FsMkdir { path } => wrap(k.fs_mkdir(path), |_| SysRet::Unit),
+            Syscall::FsRename { from, to } => wrap(k.fs_rename(from, to), |_| SysRet::Unit),
+        Syscall::Now => SysRet::Time(k.now_nanos()),
+        Syscall::Pid => SysRet::Pid(pid),
+    }
+}
+
+impl VariantOs {
+    /// The heart of the interposition layer: routes `call` according to
+    /// the current role, performing role transitions where the protocol
+    /// dictates.
+    fn dispatch(&mut self, call: Syscall) -> SysRet {
+        loop {
+            match self.role() {
+                Role::Single => {
+                    let ret = execute_call(&self.kernel, self.pid, &call);
+                    self.stats.track(&call, &ret);
+                    return ret;
+                }
+                Role::Leader => {
+                    let ret = execute_call(&self.kernel, self.pid, &call);
+                    self.stats.track(&call, &ret);
+                    let mut to_single = false;
+                    if let RoleState::Leader(state) = &mut self.role {
+                        state.seq += 1;
+                        let record = EventRecord::Syscall {
+                            seq: state.seq,
+                            record: SyscallRecord {
+                                call: call.clone(),
+                                ret: ret.clone(),
+                            },
+                        };
+                        match state.ring.push(record) {
+                            Ok(()) => {
+                                if let Some(mode) = state.lockstep {
+                                    for _ in 0..mode.rounds() {
+                                        if state.ring.wait_empty(None).is_err() {
+                                            to_single = true;
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            // Rollback: the follower is gone; revert to
+                            // single-leader mode and keep serving.
+                            Err(RingError::Poisoned) | Err(RingError::Closed) => to_single = true,
+                            Err(RingError::TimedOut) => unreachable!("untimed push"),
+                        }
+                    }
+                    if to_single {
+                        self.role = RoleState::Single;
+                        self.notify(NoticeKind::BecameSingle);
+                    }
+                    return ret;
+                }
+                Role::Follower => {
+                    let verdict = match &mut self.role {
+                        RoleState::Follower(state) => Self::follower_step(self.id, state, &call),
+                        _ => unreachable!("role checked above"),
+                    };
+                    match verdict {
+                        FollowerVerdict::Ret(ret) => {
+                            self.stats.track(&call, &ret);
+                            return ret;
+                        }
+                        FollowerVerdict::Promote => {
+                            let promote_to =
+                                match std::mem::replace(&mut self.role, RoleState::Single) {
+                                    RoleState::Follower(st) => st.promote_to,
+                                    _ => unreachable!(),
+                                };
+                            match promote_to {
+                                Some(config) => {
+                                    self.role = RoleState::Leader(LeaderState {
+                                        ring: config.ring,
+                                        lockstep: config.lockstep,
+                                        seq: 0,
+                                    });
+                                    self.notify(NoticeKind::BecameLeader);
+                                }
+                                None => {
+                                    self.notify(NoticeKind::BecameSingle);
+                                }
+                            }
+                            continue;
+                        }
+                        FollowerVerdict::Single => {
+                            self.role = RoleState::Single;
+                            self.notify(NoticeKind::BecameSingle);
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replays one follower syscall against the expected-event queue,
+    /// refilling it from the ring through the rule engine as needed.
+    fn follower_step(
+        _id: VariantId,
+        state: &mut FollowerState,
+        call: &Syscall,
+    ) -> FollowerVerdict {
+        loop {
+            if let Some(front) = state.expected.front() {
+                if !request_matches(front, call) {
+                    RetiredSignal::raise(RetireReason::Diverged(Divergence {
+                        seq: state.last_seq,
+                        expected: Some(front.clone()),
+                        attempted: call.to_string(),
+                        detail: String::new(),
+                    }));
+                }
+                let event = state.expected.pop_front().expect("checked front");
+                match reconstruct_result(&event, call) {
+                    Ok(ret) => return FollowerVerdict::Ret(ret),
+                    Err(detail) => RetiredSignal::raise(RetireReason::Diverged(Divergence {
+                        seq: state.last_seq,
+                        expected: Some(event),
+                        attempted: call.to_string(),
+                        detail,
+                    })),
+                }
+            }
+            // Refill the expected queue from the leader's stream.
+            let first = match state.ring.pop(None) {
+                Ok(record) => record,
+                Err(RingError::Closed) => return FollowerVerdict::Single,
+                Err(RingError::Poisoned) => {
+                    RetiredSignal::raise(RetireReason::Terminated)
+                }
+                Err(RingError::TimedOut) => unreachable!("untimed pop"),
+            };
+            let (seq, record) = match first {
+                EventRecord::Control {
+                    record: ControlRecord::Demote,
+                    ..
+                } => return FollowerVerdict::Promote,
+                EventRecord::Syscall { seq, record } => (seq, record),
+            };
+            let mut window_records = vec![record];
+            // Multi-event rules: wait (bounded) for the rest of a
+            // matching prefix before deciding.
+            loop {
+                let events: Vec<Event> = window_records
+                    .iter()
+                    .map(|r| syscall_event(&r.call, &r.ret))
+                    .collect();
+                if !state.rules.could_extend(&events) {
+                    break;
+                }
+                match state.ring.peek(0, Some(WINDOW_EXTEND_TIMEOUT)) {
+                    Ok(EventRecord::Syscall { .. }) => match state.ring.pop(None) {
+                        Ok(EventRecord::Syscall { record, .. }) => window_records.push(record),
+                        _ => break,
+                    },
+                    Ok(EventRecord::Control { .. }) => break,
+                    Err(RingError::Poisoned) => {
+                        RetiredSignal::raise(RetireReason::Terminated)
+                    }
+                    Err(_) => break,
+                }
+            }
+            let events: Vec<Event> = window_records
+                .iter()
+                .map(|r| syscall_event(&r.call, &r.ret))
+                .collect();
+            let mut offset = 0;
+            while offset < events.len() {
+                match state.rules.apply(&events[offset..], &state.builtins) {
+                    Ok(outcome) => {
+                        state.expected.extend(outcome.emitted);
+                        offset += outcome.consumed;
+                    }
+                    Err(e) => RetiredSignal::raise(RetireReason::Diverged(Divergence {
+                        seq,
+                        expected: events.get(offset).cloned(),
+                        attempted: call.to_string(),
+                        detail: format!("rule evaluation failed: {e}"),
+                    })),
+                }
+            }
+            state.last_seq = seq + window_records.len() as u64 - 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for VariantOs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VariantOs")
+            .field("id", &self.id)
+            .field("pid", &self.pid)
+            .field("role", &self.role())
+            .finish()
+    }
+}
+
+impl Os for VariantOs {
+    fn listen(&mut self, port: u16) -> OsResult<Fd> {
+        self.dispatch(Syscall::Listen { port }).into_fd()
+    }
+
+    fn accept(&mut self, listener: Fd) -> OsResult<Fd> {
+        self.dispatch(Syscall::Accept { listener }).into_fd()
+    }
+
+    fn read(&mut self, fd: Fd, max: usize) -> OsResult<Vec<u8>> {
+        self.dispatch(Syscall::Read { fd, max }).into_data()
+    }
+
+    fn read_timeout(&mut self, fd: Fd, max: usize, timeout_ms: u64) -> OsResult<Vec<u8>> {
+        self.dispatch(Syscall::ReadTimeout {
+            fd,
+            max,
+            timeout_ms,
+        })
+        .into_data()
+    }
+
+    fn write(&mut self, fd: Fd, data: &[u8]) -> OsResult<usize> {
+        self.dispatch(Syscall::Write {
+            fd,
+            data: data.to_vec(),
+        })
+        .into_size()
+    }
+
+    fn close(&mut self, fd: Fd) -> OsResult<()> {
+        self.dispatch(Syscall::Close { fd }).into_unit()
+    }
+
+    fn epoll_create(&mut self) -> OsResult<Fd> {
+        self.dispatch(Syscall::EpollCreate).into_fd()
+    }
+
+    fn epoll_ctl(&mut self, ep: Fd, op: CtlOp, fd: Fd) -> OsResult<()> {
+        self.dispatch(Syscall::EpollCtl { ep, op, fd }).into_unit()
+    }
+
+    fn epoll_wait(&mut self, ep: Fd, max: usize, timeout_ms: u64) -> OsResult<Vec<Fd>> {
+        self.dispatch(Syscall::EpollWait {
+            ep,
+            max,
+            timeout_ms,
+        })
+        .into_fds()
+    }
+
+    fn fs_open(&mut self, path: &str, mode: OpenMode) -> OsResult<Fd> {
+        self.dispatch(Syscall::FsOpen {
+            path: path.to_string(),
+            mode,
+        })
+        .into_fd()
+    }
+
+    fn fs_unlink(&mut self, path: &str) -> OsResult<()> {
+        self.dispatch(Syscall::FsUnlink {
+            path: path.to_string(),
+        })
+        .into_unit()
+    }
+
+    fn fs_stat(&mut self, path: &str) -> OsResult<FileStat> {
+        self.dispatch(Syscall::FsStat {
+            path: path.to_string(),
+        })
+        .into_stat()
+    }
+
+    fn fs_list(&mut self, path: &str) -> OsResult<Vec<String>> {
+        self.dispatch(Syscall::FsList {
+            path: path.to_string(),
+        })
+        .into_names()
+    }
+
+    fn fs_mkdir(&mut self, path: &str) -> OsResult<()> {
+        self.dispatch(Syscall::FsMkdir {
+            path: path.to_string(),
+        })
+        .into_unit()
+    }
+
+    fn fs_rename(&mut self, from: &str, to: &str) -> OsResult<()> {
+        self.dispatch(Syscall::FsRename {
+            from: from.to_string(),
+            to: to.to_string(),
+        })
+        .into_unit()
+    }
+
+    fn now(&mut self) -> u64 {
+        self.dispatch(Syscall::Now).into_time().unwrap_or(0)
+    }
+
+    fn pid(&mut self) -> u32 {
+        self.dispatch(Syscall::Pid).into_pid().unwrap_or(0)
+    }
+}

@@ -1,0 +1,131 @@
+//! The MVE soundness property: a follower running *identical* code over
+//! the leader's log never diverges and observes identical results, for
+//! arbitrary syscall workloads.
+
+use std::sync::Arc;
+
+use dsl::{Builtins, RuleSet};
+use mve::{EventRing, FollowerConfig, LeaderConfig, VariantOs};
+use proptest::prelude::*;
+use vos::{OpenMode, Os, VirtualKernel};
+
+/// A scripted syscall workload both variants will run.
+#[derive(Clone, Debug)]
+enum Op {
+    Write(Vec<u8>),
+    Read { max: usize },
+    Now,
+    Pid,
+    FsRoundTrip { name: u8, payload: Vec<u8> },
+    Stat { name: u8 },
+    List,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 1..64).prop_map(Op::Write),
+        (1usize..64).prop_map(|max| Op::Read { max }),
+        Just(Op::Now),
+        Just(Op::Pid),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(name, payload)| Op::FsRoundTrip { name, payload }),
+        any::<u8>().prop_map(|name| Op::Stat { name }),
+        Just(Op::List),
+    ]
+}
+
+/// Runs the script against an Os; returns a transcript of results.
+fn run_script(os: &mut dyn Os, port: u16, kernel: &Arc<VirtualKernel>, ops: &[Op],
+              feed_reads: bool) -> Vec<String> {
+    let mut log = Vec::new();
+    let listener = os.listen(port).unwrap();
+    let client = if feed_reads {
+        Some(kernel.connect(port).unwrap())
+    } else {
+        None
+    };
+    // The follower replays `listen`/`accept` rather than executing them,
+    // so only the leader connects a real client.
+    let conn = os.accept(listener).unwrap();
+    log.push(format!("conn={conn}"));
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Write(data) => {
+                log.push(format!("write={:?}", os.write(conn, data)));
+            }
+            Op::Read { max } => {
+                if let Some(client) = client {
+                    // Give the leader something deterministic to read.
+                    kernel
+                        .client_send(client, format!("req-{i}").as_bytes())
+                        .unwrap();
+                }
+                log.push(format!("read={:?}", os.read_timeout(conn, *max, 200)));
+            }
+            Op::Now => {
+                log.push(format!("now={}", os.now()));
+            }
+            Op::Pid => {
+                log.push(format!("pid={}", os.pid()));
+            }
+            Op::FsRoundTrip { name, payload } => {
+                let path = format!("/f{name}");
+                let fd = os.fs_open(&path, OpenMode::Write).unwrap();
+                log.push(format!("open={fd}"));
+                log.push(format!("fwrite={:?}", os.write(fd, payload)));
+                log.push(format!("close={:?}", os.close(fd)));
+                let fd = os.fs_open(&path, OpenMode::Read).unwrap();
+                log.push(format!("fread={:?}", os.read_timeout(fd, 128, 50)));
+                log.push(format!("close={:?}", os.close(fd)));
+            }
+            Op::Stat { name } => {
+                log.push(format!("stat={:?}", os.fs_stat(&format!("/f{name}"))));
+            }
+            Op::List => {
+                log.push(format!("list={:?}", os.fs_list("/")));
+            }
+        }
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Identical code never diverges: the follower completes the whole
+    /// replay (no `RetiredSignal`), and its transcript of syscall
+    /// results is byte-identical to the leader's.
+    #[test]
+    fn identical_replay_never_diverges(ops in proptest::collection::vec(arb_op(), 0..25)) {
+        let kernel = VirtualKernel::new();
+        let ring: EventRing = Arc::new(ring::Ring::with_capacity(1 << 14));
+
+        let mut leader = VariantOs::single(0, kernel.clone(), None);
+        leader.attach_follower(LeaderConfig { ring: ring.clone(), lockstep: None });
+        let leader_log = run_script(&mut leader, 9200, &kernel, &ops, true);
+
+        let mut follower = VariantOs::follower(
+            1,
+            kernel.clone(),
+            FollowerConfig {
+                ring,
+                rules: Arc::new(RuleSet::empty()),
+                builtins: Arc::new(Builtins::standard()),
+                promote_to: None,
+            },
+            None,
+        );
+        let follower_log = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_script(&mut follower, 9200, &kernel, &ops, false)
+        }));
+        match follower_log {
+            Ok(log) => prop_assert_eq!(log, leader_log),
+            Err(payload) => {
+                let msg = mve::RetiredSignal::from_payload(&*payload)
+                    .map(|s| format!("{:?}", s.0))
+                    .unwrap_or_else(|| "crash".to_string());
+                prop_assert!(false, "follower died: {}", msg);
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Model-based property tests: `PMap` behaves exactly like
+//! `HashMap`, and snapshots are perfectly isolated from later mutation.
+
+use std::collections::HashMap;
+
+use pmap::PMap;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Snapshot,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => any::<u16>().prop_map(Op::Remove),
+        1 => Just(Op::Snapshot),
+    ]
+}
+
+proptest! {
+    /// Agreement with HashMap over arbitrary operation sequences, plus
+    /// snapshot isolation: every snapshot equals the model at its
+    /// snapshot point forever after.
+    #[test]
+    fn agrees_with_hashmap_and_snapshots_freeze(ops in proptest::collection::vec(arb_op(), 0..300)) {
+        let mut map: PMap<u16, u32> = PMap::new();
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        let mut snapshots: Vec<(PMap<u16, u32>, HashMap<u16, u32>)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(map.insert(*k, *v), model.insert(*k, *v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(map.remove(k), model.remove(k));
+                }
+                Op::Snapshot => {
+                    snapshots.push((map.clone(), model.clone()));
+                }
+            }
+            prop_assert_eq!(map.len(), model.len());
+        }
+        // Live map equals the model.
+        for (k, v) in &model {
+            prop_assert_eq!(map.get(k), Some(v));
+        }
+        prop_assert_eq!(map.iter().count(), model.len());
+        // Every snapshot still equals its frozen model.
+        for (snap, frozen) in &snapshots {
+            prop_assert_eq!(snap.len(), frozen.len());
+            for (k, v) in frozen {
+                prop_assert_eq!(snap.get(k), Some(v));
+            }
+        }
+    }
+
+    /// Keys collected through iteration are exactly the model's key set.
+    #[test]
+    fn iteration_is_complete_and_duplicate_free(keys in proptest::collection::hash_set(any::<u16>(), 0..200)) {
+        let map: PMap<u16, ()> = keys.iter().map(|k| (*k, ())).collect();
+        let mut seen: Vec<u16> = map.keys().copied().collect();
+        seen.sort_unstable();
+        let mut want: Vec<u16> = keys.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(seen, want);
+    }
+}

@@ -1,0 +1,38 @@
+//! The paper's running example (Figure 1): an in-memory key-value store
+//! whose update adds *typed* values.
+//!
+//! * [`KvV1`] — `PUT k v`, `GET k`; the table maps keys to plain strings.
+//! * [`KvV2`] — adds a `t` field to every entry, a `TYPE k` command, and
+//!   typed stores `PUT-string` / `PUT-number` / `PUT-date`.
+//!
+//! The update's state transformer tags every existing entry with type
+//! `string`; the rewrite rules are Figure 4's: while the old version
+//! leads, typed `PUT`s and `TYPE` queries are mapped to an invalid
+//! command on the follower so both versions reject them and their states
+//! stay related (§3.3.1); when the new version leads, `PUT-string` maps
+//! back to plain `PUT` (§3.3.2, Rule 3).
+//!
+//! Wire protocol (one command per line, CRLF):
+//!
+//! ```text
+//! -> PUT balance 1000          <- OK
+//! -> GET balance               <- VAL 1000
+//! -> PUT-number balance 1000   <- OK          (v2 only)
+//! -> TYPE balance              <- TYPE number (v2 only)
+//! -> anything else             <- ERR bad-cmd
+//! ```
+
+mod updates;
+mod v1;
+mod v2;
+
+pub use updates::{
+    fwd_rules, kv_builtins, registry, rev_rules, update_package, FWD_RULES_SRC, REV_RULES_SRC,
+};
+pub use v1::{KvV1, V1State};
+pub use v2::{KvV2, V2State, ValType};
+
+/// The version strings of the two program versions.
+pub const V1: &str = "1.0";
+/// See [`V1`].
+pub const V2: &str = "2.0";

@@ -1,0 +1,349 @@
+//! The 1.0 → 2.0 update for the running example: registry wiring, the
+//! state transformer (with injectable §6.2-style faults), and Figure 4's
+//! rewrite rules.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dsl::{Builtins, Value};
+use dsu::{
+    AppState, FaultPlan, FnTransformer, StateTransformer, UpdateError, UpdateSpec, VersionEntry,
+    VersionRegistry, XformFault,
+};
+use mvedsua::UpdatePackage;
+
+use super::v1::{KvV1, V1State};
+use super::v2::{KvV2, V2State, ValType};
+
+/// Figure 4, rules 1 and (by the paper's "other commands can be written
+/// in a similar way") the analogous rule for `TYPE`: while the old
+/// version leads, new-version-only commands are mapped to an invalid
+/// command so both versions reject them and their states stay related.
+pub const FWD_RULES_SRC: &str = r#"
+    // Figure 4, Rule 1: typed PUTs become an invalid command for the
+    // updated follower -- the old leader rejects them, so must it.
+    rule put_typed_to_bad_cmd {
+        on read(fd, s, n)
+        when {
+            let (cmd, typ, _, _) = parse(s);
+            cmd == "PUT" && typ != nil
+        }
+        => read(fd, "bad-cmd\r\n", 9)
+    }
+
+    // Same treatment for the new TYPE query.
+    rule type_to_bad_cmd {
+        on read(fd, s, n)
+        when {
+            let (cmd, _, _, _) = parse(s);
+            cmd == "TYPE"
+        }
+        => read(fd, "bad-cmd\r\n", 9)
+    }
+"#;
+
+/// Figure 4, Rule 3: while the new version leads, `PUT-string` (whose
+/// semantics equal the old plain `PUT`) maps back; other typed commands
+/// have no old-version equivalent and will terminate the old follower.
+pub const REV_RULES_SRC: &str = r#"
+    rule put_string_to_plain {
+        on read(fd, s, n)
+        when {
+            let (cmd, typ, _, _) = parse(s);
+            cmd == "PUT" && typ == "string"
+        }
+        => read(fd, replace(s, "PUT-string", "PUT"), n - 7)
+    }
+"#;
+
+/// The rule builtins: `parse` splits a command line into
+/// `(cmd, typ, key, val)` exactly as the paper's Figure 4 comments
+/// describe (`parse("PUT-string k1 v1") = (PUT, string, "k1", "v1")`).
+pub fn kv_builtins() -> Arc<Builtins> {
+    let mut b = Builtins::standard();
+    b.register("parse", |args| {
+        let s = match args.first() {
+            Some(Value::Str(s)) => s.trim(),
+            _ => return Err("parse: expected a string argument".into()),
+        };
+        let mut parts = s.split_whitespace();
+        let head = parts.next().unwrap_or("");
+        let (cmd, typ) = match head.split_once('-') {
+            Some((c, t)) => (c.to_string(), Value::Str(t.to_string())),
+            None => (head.to_string(), Value::Nil),
+        };
+        let grab = |p: Option<&str>| p.map(|x| Value::Str(x.to_string())).unwrap_or(Value::Nil);
+        let key = grab(parts.next());
+        let val = grab(parts.next());
+        Ok(Value::Tuple(vec![Value::Str(cmd), typ, key, val]))
+    });
+    Arc::new(b)
+}
+
+/// Parses the forward (outdated-leader) rules.
+pub fn fwd_rules() -> dsl::RuleSet {
+    dsl::RuleSet::parse(FWD_RULES_SRC).expect("fwd rules parse")
+}
+
+/// Parses the reverse (updated-leader) rules.
+pub fn rev_rules() -> dsl::RuleSet {
+    dsl::RuleSet::parse(REV_RULES_SRC).expect("rev rules parse")
+}
+
+/// The 1.0 → 2.0 state transformer: tag every entry `string` (what the
+/// paper's programmer "might indicate"), with §2.4's classic mistakes
+/// injectable through [`FaultPlan`].
+pub fn transformer(plan: FaultPlan) -> Arc<dyn StateTransformer> {
+    Arc::new(FnTransformer::new(
+        "kvstore 1.0->2.0: add type tags (default string)",
+        move |old: AppState| {
+            let v1: V1State = old.downcast().map_err(|_| UpdateError::StateTypeMismatch)?;
+            match plan.xform {
+                Some(XformFault::FailCleanly) | Some(XformFault::PoisonLater { .. }) => {
+                    return Err(UpdateError::XformFailed(
+                        "injected transformer failure".into(),
+                    ))
+                }
+                Some(XformFault::DropState) => {
+                    // §2.4: "forgets to copy over the entries from the
+                    // old table" — the follower boots empty and diverges
+                    // on the first GET of pre-update data.
+                    return Ok(AppState::new(V2State {
+                        net: v1.net.migrated(),
+                        table: HashMap::new(),
+                    }));
+                }
+                _ => {}
+            }
+            let default_type = match plan.xform {
+                // §2.4: "field t is mistakenly left uninitialized" —
+                // modelled as a wrong (non-string) default, which changes
+                // GET replies for migrated entries and diverges.
+                Some(XformFault::CorruptField) => ValType::Number,
+                _ => ValType::Str,
+            };
+            let table: HashMap<String, (String, ValType)> = v1
+                .table
+                .into_iter()
+                .map(|(k, v)| (k, (v, default_type)))
+                .collect();
+            Ok(AppState::new(V2State {
+                net: v1.net.migrated(),
+                table,
+            }))
+        },
+    ))
+}
+
+/// Builds the registry for the two versions, serving `port`.
+pub fn registry(port: u16) -> Arc<VersionRegistry> {
+    let mut r = VersionRegistry::new();
+    r.register_version(VersionEntry::new(
+        dsu::v(super::V1),
+        move || Box::new(KvV1::new(port)),
+        |state| {
+            Ok(Box::new(KvV1::from_state(
+                state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+            )))
+        },
+    ));
+    r.register_version(VersionEntry::new(
+        dsu::v(super::V2),
+        move || Box::new(KvV2::new(port)),
+        |state| {
+            Ok(Box::new(KvV2::from_state(
+                state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+            )))
+        },
+    ));
+    r.register_update(UpdateSpec::new(
+        super::V1,
+        super::V2,
+        transformer(FaultPlan::none()),
+    ));
+    Arc::new(r)
+}
+
+/// The full update package for MVEDSUA, optionally with injected faults.
+pub fn update_package(plan: FaultPlan) -> UpdatePackage {
+    let mut package = UpdatePackage::new(dsu::v(super::V2))
+        .with_fwd_rules(FWD_RULES_SRC)
+        .with_rev_rules(REV_RULES_SRC)
+        .with_builtins(kv_builtins());
+    if plan.xform.is_some() {
+        package = package.with_transformer(transformer(plan));
+    }
+    if plan.skip_ephemeral_reset {
+        package = package.with_skipped_ephemeral_reset();
+    }
+    package
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsl::Event;
+
+    fn read_event(payload: &str) -> Event {
+        Event::new(
+            "read",
+            vec![
+                Value::Int(9),
+                Value::Str(payload.to_string()),
+                Value::Int(payload.len() as i64),
+            ],
+        )
+    }
+
+    #[test]
+    fn rule_counts_match_figure4_usage() {
+        assert_eq!(fwd_rules().len(), 2);
+        assert_eq!(rev_rules().len(), 1);
+    }
+
+    #[test]
+    fn fwd_rules_map_new_commands_to_bad_cmd() {
+        let rules = fwd_rules();
+        let b = kv_builtins();
+        for cmd in ["PUT-number balance 1001\r\n", "TYPE balance\r\n"] {
+            let out = rules.apply(&[read_event(cmd)], &b).unwrap();
+            assert_eq!(
+                out.emitted[0].args[1],
+                Value::Str("bad-cmd\r\n".into()),
+                "{cmd}"
+            );
+        }
+        // Backward-compatible commands pass through untouched.
+        for cmd in ["PUT balance 1000\r\n", "GET balance\r\n", "nonsense\r\n"] {
+            let out = rules.apply(&[read_event(cmd)], &b).unwrap();
+            assert_eq!(out.rule, None, "{cmd}");
+        }
+    }
+
+    #[test]
+    fn rev_rule_maps_put_string_back() {
+        let rules = rev_rules();
+        let b = kv_builtins();
+        let out = rules
+            .apply(&[read_event("PUT-string k1 v1\r\n")], &b)
+            .unwrap();
+        assert_eq!(out.emitted[0].args[1], Value::Str("PUT k1 v1\r\n".into()));
+        // Non-string types have no mapping: identity, i.e. later
+        // divergence — exactly the paper's §3.3.2 story.
+        let out = rules
+            .apply(&[read_event("PUT-number k1 v1\r\n")], &b)
+            .unwrap();
+        assert_eq!(out.rule, None);
+    }
+
+    #[test]
+    fn transformer_defaults_entries_to_string() {
+        let mut state = V1State::new(7200);
+        state.table.insert("balance".into(), "1000".into());
+        let out = transformer(FaultPlan::none())
+            .transform(AppState::new(state))
+            .unwrap();
+        let v2: V2State = out.downcast().unwrap();
+        assert_eq!(
+            v2.table.get("balance"),
+            Some(&("1000".to_string(), ValType::Str))
+        );
+    }
+
+    #[test]
+    fn transformer_fault_injection() {
+        let mut state = V1State::new(7201);
+        state.table.insert("k".into(), "v".into());
+        // DropState: table comes out empty.
+        let out = transformer(FaultPlan::with_xform(XformFault::DropState))
+            .transform(AppState::new(state.clone()))
+            .unwrap();
+        assert!(out.downcast::<V2State>().unwrap().table.is_empty());
+        // CorruptField: wrong default type.
+        let out = transformer(FaultPlan::with_xform(XformFault::CorruptField))
+            .transform(AppState::new(state.clone()))
+            .unwrap();
+        assert_eq!(
+            out.downcast::<V2State>().unwrap().table.get("k").unwrap().1,
+            ValType::Number
+        );
+        // FailCleanly: outright error.
+        assert!(matches!(
+            transformer(FaultPlan::with_xform(XformFault::FailCleanly))
+                .transform(AppState::new(state)),
+            Err(UpdateError::XformFailed(_))
+        ));
+    }
+
+    #[test]
+    fn registry_boots_and_migrates() {
+        let r = registry(7202);
+        let v1 = r.boot(&dsu::v(super::super::V1)).unwrap();
+        assert_eq!(v1.version(), &dsu::v("1.0"));
+        let v2 = r.perform_in_place(v1, &dsu::v(super::super::V2)).unwrap();
+        assert_eq!(v2.version(), &dsu::v("2.0"));
+    }
+
+    #[test]
+    fn package_carries_rules_and_faults() {
+        let p = update_package(FaultPlan::none());
+        assert!(p.fwd_rules.contains("put_typed_to_bad_cmd"));
+        assert!(p.rev_rules.contains("put_string_to_plain"));
+        assert!(p.transformer_override.is_none());
+        let p = update_package(FaultPlan::with_xform(XformFault::DropState));
+        assert!(p.transformer_override.is_some());
+        let mut plan = FaultPlan::none();
+        plan.skip_ephemeral_reset = true;
+        assert!(update_package(plan).skip_ephemeral_reset);
+    }
+
+    /// The Figure 3 state relation as a property: for any command trace,
+    /// *run-then-transform* equals *transform-then-run-mapped* — the
+    /// correctness argument behind old-leader mappings (§3.3.1).
+    #[test]
+    fn state_relation_commutes_for_example_trace() {
+        let trace = [
+            "PUT a 1",
+            "PUT b 2",
+            "GET a",
+            "PUT-number c 3", // rejected by v1; mapped to bad-cmd for v2
+            "TYPE a",         // rejected by v1; mapped to bad-cmd for v2
+            "PUT a 9",
+        ];
+        check_state_relation(&trace);
+    }
+
+    /// The core of the Figure 3 argument, reused by the property test in
+    /// the crate's `tests/` suite: v1's handler followed by the
+    /// transformer must equal the transformer followed by v2's handler
+    /// over the rule-mapped trace.
+    pub(crate) fn check_state_relation(trace: &[&str]) {
+        use super::super::v1::KvV1;
+        use super::super::v2::KvV2;
+
+        // Path A: run the trace on v1, then transform.
+        let mut t1 = HashMap::new();
+        for cmd in trace {
+            let _ = KvV1::respond(cmd, &mut t1);
+        }
+        let xformed: HashMap<String, (String, ValType)> = t1
+            .into_iter()
+            .map(|(k, v)| (k, (v, ValType::Str)))
+            .collect();
+
+        // Path B: transform first (empty table transforms to empty
+        // table), then run the *mapped* trace on v2: typed commands
+        // become bad-cmd, exactly what the forward rules enforce.
+        let mut t2 = HashMap::new();
+        for cmd in trace {
+            let head = cmd.split_whitespace().next().unwrap_or("");
+            let mapped = if head.contains('-') || head == "TYPE" {
+                "bad-cmd"
+            } else {
+                cmd
+            };
+            let _ = KvV2::respond(mapped, &mut t2);
+        }
+        assert_eq!(xformed, t2, "states related by the transformer");
+    }
+}

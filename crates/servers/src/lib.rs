@@ -1,0 +1,29 @@
+//! DSU-ready reimplementations of the servers the paper evaluates.
+//!
+//! Each server family ships:
+//!
+//! * the versions the paper updates across, implemented **data-driven**
+//!   (one engine parameterized by a per-version feature table, the way
+//!   the real code bases differ semantically between releases);
+//! * a [`dsu::VersionRegistry`] wiring up boot/resume constructors and
+//!   state transformers (with real per-entry migration cost);
+//! * `UpdatePackage`s bundling each pair's rewrite rules — the counts
+//!   reproduce the paper's Table 1;
+//! * fault hooks reproducing the §6.2 error study (the Redis `HMGET`
+//!   crash, Memcached's state-transformation and LibEvent timing
+//!   errors).
+//!
+//! | module | paper §5 | notes |
+//! |---|---|---|
+//! | [`kvstore`] | Figure 1 running example | two versions, Figure 4's rules |
+//! | [`redis`] | §5.2 | 2.0.0–2.0.3, single-threaded, RESP-flavoured |
+//! | [`memcached`] | §5.3 | 1.2.2–1.2.4, logical worker pool over `evloop` |
+//! | [`vsftpd`] | §5.1 | 1.1.0–2.0.6, 13 update pairs over the virtual fs |
+
+pub mod kvstore;
+pub mod memcached;
+mod net;
+pub mod redis;
+pub mod vsftpd;
+
+pub use net::{ConnIo, NetCore, NetEvent};

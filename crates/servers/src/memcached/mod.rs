@@ -1,0 +1,37 @@
+//! Memcached, as evaluated in §5.3: a caching key-value store built
+//! around a LibEvent-style event loop.
+//!
+//! Versions 1.2.2, 1.2.3 and 1.2.4 share one engine; per the paper, "no
+//! version changed the sequence of system calls or added any commands",
+//! so no DSL rules are needed — the releases differ in internal fixes
+//! (and in the string the `version` command reports, which is why the
+//! monitoring workloads avoid it; a test demonstrates the divergence it
+//! would cause).
+//!
+//! What makes Memcached interesting for MVEDSUA is all reproduced here:
+//!
+//! * **LibEvent dispatch memory** (§5.3): the event loop remembers where
+//!   its round-robin left off. An updated follower rebuilds the loop
+//!   without that memory, so with two ready connections the variants
+//!   answer in different orders and diverge — unless the leader's
+//!   `reset_ephemeral` callback clears its own memory at fork time.
+//!   Skipping the reset ([`dsu::FaultPlan::skip_ephemeral_reset`]) is
+//!   the §6.2 *timing error*, recoverable by retrying the update.
+//! * **The state-transformation error** (§6.2): the 1.2.2 → 1.2.3
+//!   migration can be made to free memory LibEvent still references
+//!   ([`dsu::XformFault::PoisonLater`]); the new version then crashes a
+//!   few event-loop iterations later, after the update "succeeded".
+//! * **Quiescence**: `set` is a two-line command; an update cannot fork
+//!   while any connection is mid-`set` ([`McApp`] reports non-quiescent),
+//!   which is how real update points avoid torn state.
+//!
+//! The real Memcached is multi-threaded; this reproduction multiplexes a
+//! configurable pool of *logical* workers on the variant thread (each
+//! connection pinned to `fd % workers`), preserving the phenomena that
+//! matter to the paper (dispatch order, quiescence) — see DESIGN.md §2.
+
+mod server;
+mod updates;
+
+pub use server::{McApp, McEntry, McState, MC_VERSIONS};
+pub use updates::{registry, transformer, update_package};

@@ -1,0 +1,196 @@
+//! The Memcached update chain 1.2.2 → 1.2.3 → 1.2.4: registry wiring,
+//! the slab-rebuild transformer with §6.2 fault injection, and rule-less
+//! update packages (the paper needed no DSL rules for Memcached).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dsu::{
+    AppState, FaultPlan, FnTransformer, StateTransformer, UpdateError, UpdateSpec, Version,
+    VersionEntry, VersionRegistry, XformFault,
+};
+use mvedsua::UpdatePackage;
+
+use super::server::{McApp, McEntry, McState, MC_VERSIONS};
+
+/// Builds a migration for any consecutive pair: the slab allocator is
+/// reorganized, so every entry is copied (honest per-entry cost), and
+/// §6.2's faults can be injected.
+pub fn transformer(plan: FaultPlan) -> Arc<dyn StateTransformer> {
+    Arc::new(FnTransformer::new(
+        "memcached: rebuild slabs, re-attach event loop",
+        move |old: AppState| {
+            let state: McState = old.downcast().map_err(|_| UpdateError::StateTypeMismatch)?;
+            if let Some(XformFault::FailCleanly) = plan.xform {
+                return Err(UpdateError::XformFailed(
+                    "injected transformer failure".into(),
+                ))
+            }
+            let store: HashMap<String, McEntry> = match plan.xform {
+                // Forgot to copy the cache across.
+                Some(XformFault::DropState) => HashMap::new(),
+                // Flags column lost in the slab rebuild: replies to
+                // `get` change shape and diverge.
+                Some(XformFault::CorruptField) => state
+                    .store
+                    .iter()
+                    .map(|(k, e)| {
+                        (
+                            k.clone(),
+                            McEntry {
+                                flags: 0xdead,
+                                data: e.data.clone(),
+                            },
+                        )
+                    })
+                    .collect(),
+                _ => state.store.clone(),
+            };
+            let poison_countdown = match plan.xform {
+                // The §6.2 state-transformation error: memory still
+                // referenced by LibEvent was freed; the crash comes when
+                // the allocator reuses it, a few iterations from now.
+                Some(XformFault::PoisonLater { after_steps }) => Some(after_steps),
+                _ => None,
+            };
+            Ok(AppState::new(McState {
+                net: state.net.migrated(),
+                store,
+                // Updates only happen at quiescent points, where no
+                // storage command is mid-flight.
+                pending: HashMap::new(),
+                workers: state.workers,
+                poison_countdown,
+            }))
+        },
+    ))
+}
+
+/// Builds the registry for the three versions.
+pub fn registry(port: u16, workers: usize) -> Arc<VersionRegistry> {
+    let mut r = VersionRegistry::new();
+    for v in MC_VERSIONS {
+        let version = dsu::v(v);
+        let v_boot = version.clone();
+        let v_resume = version.clone();
+        r.register_version(VersionEntry::new(
+            version,
+            move || Box::new(McApp::new(v_boot.clone(), port, workers)),
+            move |state| {
+                Ok(Box::new(McApp::from_state(
+                    v_resume.clone(),
+                    state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                )))
+            },
+        ));
+    }
+    for pair in MC_VERSIONS.windows(2) {
+        r.register_update(UpdateSpec::new(
+            pair[0],
+            pair[1],
+            transformer(FaultPlan::none()),
+        ));
+    }
+    Arc::new(r)
+}
+
+/// The update package for a pair, with optional fault injection. No DSL
+/// rules: the versions issue identical syscall sequences (§5.3).
+pub fn update_package(to: &Version, plan: FaultPlan) -> UpdatePackage {
+    let mut package = UpdatePackage::new(to.clone());
+    if plan.xform.is_some() {
+        package = package.with_transformer(transformer(plan));
+    }
+    if plan.skip_ephemeral_reset {
+        package = package.with_skipped_ephemeral_reset();
+    }
+    package
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated_state() -> McState {
+        let mut state = McState::new(11300, 4);
+        for i in 0..50 {
+            state.store.insert(
+                format!("k{i}"),
+                McEntry {
+                    flags: i,
+                    data: format!("value-{i}").into_bytes(),
+                },
+            );
+        }
+        state
+    }
+
+    #[test]
+    fn clean_migration_preserves_cache() {
+        let out = transformer(FaultPlan::none())
+            .transform(AppState::new(populated_state()))
+            .unwrap();
+        let migrated: McState = out.downcast().unwrap();
+        assert_eq!(migrated.store.len(), 50);
+        assert_eq!(migrated.store.get("k7").unwrap().data, b"value-7");
+        assert_eq!(migrated.store.get("k7").unwrap().flags, 7);
+        assert_eq!(migrated.poison_countdown, None);
+    }
+
+    #[test]
+    fn fault_injection_variants() {
+        let drop = transformer(FaultPlan::with_xform(XformFault::DropState))
+            .transform(AppState::new(populated_state()))
+            .unwrap()
+            .downcast::<McState>()
+            .unwrap();
+        assert!(drop.store.is_empty());
+
+        let corrupt = transformer(FaultPlan::with_xform(XformFault::CorruptField))
+            .transform(AppState::new(populated_state()))
+            .unwrap()
+            .downcast::<McState>()
+            .unwrap();
+        assert!(corrupt.store.values().all(|e| e.flags == 0xdead));
+
+        let poisoned = transformer(FaultPlan::with_xform(XformFault::PoisonLater {
+            after_steps: 9,
+        }))
+        .transform(AppState::new(populated_state()))
+        .unwrap()
+        .downcast::<McState>()
+        .unwrap();
+        assert_eq!(poisoned.poison_countdown, Some(9));
+
+        assert!(transformer(FaultPlan::with_xform(XformFault::FailCleanly))
+            .transform(AppState::new(populated_state()))
+            .is_err());
+    }
+
+    #[test]
+    fn registry_supports_the_chain() {
+        let r = registry(11211, 4);
+        assert_eq!(r.versions().len(), 3);
+        let mut app = r.boot(&dsu::v("1.2.2")).unwrap();
+        for next in ["1.2.3", "1.2.4"] {
+            app = r.perform_in_place(app, &dsu::v(next)).unwrap();
+            assert_eq!(app.version(), &dsu::v(next));
+        }
+    }
+
+    #[test]
+    fn packages_are_rule_free() {
+        let p = update_package(&dsu::v("1.2.3"), FaultPlan::none());
+        assert!(p.fwd_rules.is_empty());
+        assert!(p.rev_rules.is_empty());
+        assert!(p.transformer_override.is_none());
+        let p = update_package(
+            &dsu::v("1.2.3"),
+            FaultPlan {
+                skip_ephemeral_reset: true,
+                ..FaultPlan::none()
+            },
+        );
+        assert!(p.skip_ephemeral_reset);
+    }
+}

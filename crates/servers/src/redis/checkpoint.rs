@@ -1,0 +1,184 @@
+//! Checkpoint/restore for the Redis keyspace — the stop-restart upgrade
+//! path the paper's §2.2 uses to motivate DSU ("checkpointing and
+//! restarting a 10 GB Redis heap took 28 seconds"). The `fig7` harness
+//! measures this baseline next to Kitsune and MVEDSUA.
+//!
+//! The format is a simple length-prefixed binary encoding; both
+//! directions walk every entry, so the cost is honestly proportional to
+//! the heap — and it is paid **while the service is down**, unlike
+//! MVEDSUA's transformation which runs on the forked follower.
+
+use super::store::{RVal, Store};
+
+/// Encoding error — the checkpoint bytes did not parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorruptCheckpoint(pub String);
+
+impl std::fmt::Display for CorruptCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt checkpoint: {}", self.0)
+    }
+}
+
+impl std::error::Error for CorruptCheckpoint {}
+
+fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(data);
+}
+
+/// Serializes the keyspace.
+pub fn checkpoint(store: &Store) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + store.len() * 32);
+    out.extend_from_slice(b"RKPT");
+    out.extend_from_slice(&(store.len() as u32).to_le_bytes());
+    for (key, value) in store.raw() {
+        put_bytes(&mut out, key.as_bytes());
+        match value {
+            RVal::Str(s) => {
+                out.push(0);
+                put_bytes(&mut out, s.as_bytes());
+            }
+            RVal::Hash(h) => {
+                out.push(1);
+                out.extend_from_slice(&(h.len() as u32).to_le_bytes());
+                // Deterministic field order for reproducible checkpoints.
+                let mut fields: Vec<_> = h.iter().collect();
+                fields.sort();
+                for (f, v) in fields {
+                    put_bytes(&mut out, f.as_bytes());
+                    put_bytes(&mut out, v.as_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CorruptCheckpoint> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|end| *end <= self.data.len())
+            .ok_or_else(|| CorruptCheckpoint("truncated".into()))?;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, CorruptCheckpoint> {
+        let raw = self.take(4)?;
+        Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")))
+    }
+
+    fn u8(&mut self) -> Result<u8, CorruptCheckpoint> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn string(&mut self) -> Result<String, CorruptCheckpoint> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| CorruptCheckpoint("non-utf8 string".into()))
+    }
+}
+
+/// Restores a keyspace from checkpoint bytes.
+///
+/// # Errors
+/// [`CorruptCheckpoint`] on any framing or tag error.
+pub fn restore(bytes: &[u8]) -> Result<Store, CorruptCheckpoint> {
+    let mut r = Reader {
+        data: bytes,
+        pos: 0,
+    };
+    if r.take(4)? != b"RKPT" {
+        return Err(CorruptCheckpoint("bad magic".into()));
+    }
+    let count = r.u32()? as usize;
+    // Never trust a length field for preallocation: a corrupt count must
+    // fail with a parse error, not an allocator abort.
+    let mut entries = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let key = r.string()?;
+        let value = match r.u8()? {
+            0 => RVal::Str(r.string()?),
+            1 => {
+                let fields = r.u32()? as usize;
+                let mut h = std::collections::HashMap::with_capacity(fields.min(1024));
+                for _ in 0..fields {
+                    let f = r.string()?;
+                    let v = r.string()?;
+                    h.insert(f, v);
+                }
+                RVal::Hash(h)
+            }
+            tag => return Err(CorruptCheckpoint(format!("unknown value tag {tag}"))),
+        };
+        entries.push((key, value));
+    }
+    if r.pos != bytes.len() {
+        return Err(CorruptCheckpoint("trailing bytes".into()));
+    }
+    Ok(Store::from_raw(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Store {
+        let mut s = Store::new();
+        s.set("a", "1");
+        s.set("empty", "");
+        s.hset("h", "f1", "x").unwrap();
+        s.hset("h", "f2", "y").unwrap();
+        s
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = sample();
+        let bytes = checkpoint(&s);
+        let restored = restore(&bytes).unwrap();
+        assert_eq!(restored, s);
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let s = Store::new();
+        assert_eq!(restore(&checkpoint(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected_not_panicked() {
+        assert!(restore(b"").is_err());
+        assert!(restore(b"NOPE").is_err());
+        let mut bytes = checkpoint(&sample());
+        bytes.truncate(bytes.len() - 3);
+        assert!(restore(&bytes).is_err());
+        let mut bytes = checkpoint(&sample());
+        bytes.push(0);
+        assert_eq!(
+            restore(&bytes).unwrap_err(),
+            CorruptCheckpoint("trailing bytes".into())
+        );
+    }
+
+    #[test]
+    fn large_store_round_trips() {
+        let mut s = Store::new();
+        for i in 0..5000 {
+            s.set(&format!("key:{i}"), &format!("value:{i}"));
+        }
+        let bytes = checkpoint(&s);
+        assert!(bytes.len() > 5000 * 10);
+        assert_eq!(restore(&bytes).unwrap(), s);
+    }
+}

@@ -1,0 +1,32 @@
+//! Redis, as evaluated in §5.2: a single-threaded in-memory key-value
+//! store speaking an inline-command, RESP-flavoured protocol.
+//!
+//! Versions 2.0.0 through 2.0.3 are implemented data-driven over one
+//! engine ([`RedisApp`]) and a per-version [`RedisFeatures`] table:
+//!
+//! * **2.0.0** — baseline; updates its stats clock *after* writing each
+//!   reply.
+//! * **2.0.1** — moves the stats clock *before* the reply, reversing the
+//!   order of two system calls when handling client commands — the one
+//!   DSL rule Redis needs in the paper.
+//! * **2.0.2** — `INCR` overflow returns an error instead of wrapping
+//!   (identical behaviour for in-range values; no rules).
+//! * **2.0.3** — stricter argument validation on `EXISTS` (unexercised
+//!   by well-formed clients; no rules).
+//!
+//! The §6.2 "error in the new code" is the real `HMGET`-on-wrong-type
+//! crash (revision `7fb16bac`): [`RedisOptions::hmget_bug_from`] plants
+//! it in every version from a given release on, so the experiment can
+//! run 2.0.0 clean and let the 2.0.0 → 2.0.1 update introduce the bug,
+//! exactly as the paper stages it.
+
+pub mod checkpoint;
+mod server;
+mod store;
+pub mod updates;
+mod versions;
+
+pub use server::{RedisApp, RedisState};
+pub use store::{RVal, Store, WrongType};
+pub use updates::{registry, transformer_200_to_201, transformer_200_to_201_parallel, update_package, REORDER_FWD_SRC, REORDER_REV_SRC};
+pub use versions::{RedisFeatures, RedisOptions, VERSIONS};

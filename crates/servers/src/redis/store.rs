@@ -1,0 +1,252 @@
+use std::collections::HashMap;
+
+use pmap::PMap;
+
+/// The operation addressed a key holding the wrong kind of value — the
+/// error the famous `HMGET` crash failed to produce.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WrongType;
+
+impl std::fmt::Display for WrongType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("operation against a key holding the wrong kind of value")
+    }
+}
+
+impl std::error::Error for WrongType {}
+
+/// A Redis value: a string or a hash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RVal {
+    Str(String),
+    Hash(HashMap<String, String>),
+}
+
+/// The keyspace: a persistent (structurally shared) map, so MVEDSUA's
+/// fork — a state snapshot — is O(1) regardless of heap size, exactly
+/// like `fork(2)`'s copy-on-write pages in the real system. Mutations
+/// after a fork copy only the touched trie path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Store {
+    map: PMap<String, RVal>,
+}
+
+/// Outcome of `INCR`, distinguishing the 2.0.2 overflow fix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IncrOutcome {
+    Value(i64),
+    NotAnInteger,
+    Overflow,
+}
+
+impl Store {
+    /// Empty keyspace.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `SET key value`.
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.map.insert(key.to_string(), RVal::Str(value.to_string()));
+    }
+
+    /// `GET key`: `Ok(Some)` for a string, `Ok(None)` for a missing key.
+    ///
+    /// # Errors
+    /// [`WrongType`] when the key holds a hash.
+    pub fn get(&self, key: &str) -> Result<Option<&str>, WrongType> {
+        match self.map.get(key) {
+            None => Ok(None),
+            Some(RVal::Str(s)) => Ok(Some(s)),
+            Some(RVal::Hash(_)) => Err(WrongType),
+        }
+    }
+
+    /// `DEL key`: whether a key was removed.
+    pub fn del(&mut self, key: &str) -> bool {
+        self.map.remove(key).is_some()
+    }
+
+    /// `EXISTS key`.
+    pub fn exists(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// `INCR key`, with `checked` controlling the 2.0.2 overflow fix:
+    /// unchecked wraps (the old behaviour), checked reports overflow.
+    pub fn incr(&mut self, key: &str, checked: bool) -> IncrOutcome {
+        let current = match self.map.get(key) {
+            None => 0,
+            Some(RVal::Str(s)) => match s.parse::<i64>() {
+                Ok(n) => n,
+                Err(_) => return IncrOutcome::NotAnInteger,
+            },
+            Some(RVal::Hash(_)) => return IncrOutcome::NotAnInteger,
+        };
+        let next = if checked {
+            match current.checked_add(1) {
+                Some(n) => n,
+                None => return IncrOutcome::Overflow,
+            }
+        } else {
+            current.wrapping_add(1)
+        };
+        self.map.insert(key.to_string(), RVal::Str(next.to_string()));
+        IncrOutcome::Value(next)
+    }
+
+    /// `HSET key field value`: `Ok(is_new_field)`.
+    ///
+    /// # Errors
+    /// [`WrongType`] when the key holds a string.
+    pub fn hset(&mut self, key: &str, field: &str, value: &str) -> Result<bool, WrongType> {
+        let mut hash = match self.map.get(key) {
+            None => HashMap::new(),
+            Some(RVal::Hash(h)) => h.clone(),
+            Some(RVal::Str(_)) => return Err(WrongType),
+        };
+        let fresh = hash.insert(field.to_string(), value.to_string()).is_none();
+        self.map.insert(key.to_string(), RVal::Hash(hash));
+        Ok(fresh)
+    }
+
+    /// `HGET key field`.
+    ///
+    /// # Errors
+    /// [`WrongType`] when the key holds a string.
+    pub fn hget(&self, key: &str, field: &str) -> Result<Option<&str>, WrongType> {
+        match self.map.get(key) {
+            None => Ok(None),
+            Some(RVal::Hash(h)) => Ok(h.get(field).map(String::as_str)),
+            Some(RVal::Str(_)) => Err(WrongType),
+        }
+    }
+
+    /// `HMGET key f1 f2 ...`.
+    ///
+    /// # Errors
+    /// [`WrongType`] when the key holds a string — the case that crashes
+    /// buggy builds (revision 7fb16bac).
+    pub fn hmget<'a>(
+        &'a self,
+        key: &str,
+        fields: &[&str],
+    ) -> Result<Vec<Option<&'a str>>, WrongType> {
+        match self.map.get(key) {
+            None => Ok(fields.iter().map(|_| None).collect()),
+            Some(RVal::Hash(h)) => Ok(fields
+                .iter()
+                .map(|f| h.get(*f).map(String::as_str))
+                .collect()),
+            Some(RVal::Str(_)) => Err(WrongType),
+        }
+    }
+
+    /// Iterates over the raw entries (transformers).
+    pub fn raw(&self) -> impl Iterator<Item = (&String, &RVal)> {
+        self.map.iter()
+    }
+
+    /// Rebuilds the store from raw entries (transformers).
+    pub fn from_raw(entries: impl IntoIterator<Item = (String, RVal)>) -> Self {
+        Store {
+            map: entries.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_del_exists() {
+        let mut s = Store::new();
+        s.set("k", "v");
+        assert_eq!(s.get("k").unwrap(), Some("v"));
+        assert!(s.exists("k"));
+        assert!(s.del("k"));
+        assert!(!s.del("k"));
+        assert_eq!(s.get("k").unwrap(), None);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn incr_semantics() {
+        let mut s = Store::new();
+        assert_eq!(s.incr("n", true), IncrOutcome::Value(1));
+        assert_eq!(s.incr("n", true), IncrOutcome::Value(2));
+        s.set("x", "not-a-number");
+        assert_eq!(s.incr("x", true), IncrOutcome::NotAnInteger);
+        s.set("big", &i64::MAX.to_string());
+        assert_eq!(s.incr("big", true), IncrOutcome::Overflow);
+        s.set("big", &i64::MAX.to_string());
+        assert_eq!(
+            s.incr("big", false),
+            IncrOutcome::Value(i64::MIN),
+            "unchecked wraps, the pre-2.0.2 behaviour"
+        );
+    }
+
+    #[test]
+    fn hash_operations() {
+        let mut s = Store::new();
+        assert!(s.hset("h", "f1", "a").unwrap());
+        assert!(!s.hset("h", "f1", "b").unwrap());
+        assert_eq!(s.hget("h", "f1").unwrap(), Some("b"));
+        assert_eq!(s.hget("h", "nope").unwrap(), None);
+        assert_eq!(
+            s.hmget("h", &["f1", "zz"]).unwrap(),
+            vec![Some("b"), None]
+        );
+        assert_eq!(s.hmget("missing", &["f"]).unwrap(), vec![None]);
+    }
+
+    #[test]
+    fn wrong_type_is_reported() {
+        let mut s = Store::new();
+        s.set("str", "v");
+        assert!(s.hget("str", "f").is_err());
+        assert!(s.hset("str", "f", "v").is_err());
+        assert!(s.hmget("str", &["f"]).is_err(), "the crash-bug trigger");
+        s.hset("h", "f", "v").unwrap();
+        assert!(s.get("h").is_err());
+        assert_eq!(s.incr("h", true), IncrOutcome::NotAnInteger);
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let mut s = Store::new();
+        s.set("a", "1");
+        s.hset("h", "f", "v").unwrap();
+        let rebuilt = Store::from_raw(s.raw().map(|(k, v)| (k.clone(), v.clone())));
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn snapshots_are_o1_and_isolated() {
+        let mut live = Store::new();
+        for i in 0..10_000 {
+            live.set(&format!("k{i}"), "v");
+        }
+        let begin = std::time::Instant::now();
+        let snapshot = live.clone();
+        assert!(begin.elapsed() < std::time::Duration::from_millis(5));
+        live.set("k0", "changed");
+        live.del("k1");
+        assert_eq!(snapshot.get("k0").unwrap(), Some("v"));
+        assert!(snapshot.exists("k1"));
+        assert_eq!(live.get("k0").unwrap(), Some("changed"));
+    }
+}

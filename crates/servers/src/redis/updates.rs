@@ -1,0 +1,284 @@
+//! The Redis update chain 2.0.0 → 2.0.1 → 2.0.2 → 2.0.3: transformers,
+//! registry, and the one DSL rule the paper reports (§5.2).
+
+use std::sync::Arc;
+
+use dsu::{
+    AppState, FnTransformer, IdentityTransformer, StateTransformer, UpdateError, UpdateSpec,
+    Version, VersionEntry, VersionRegistry,
+};
+use mvedsua::UpdatePackage;
+
+use super::server::{RedisApp, RedisState};
+use super::store::Store;
+use super::versions::{RedisOptions, VERSIONS};
+
+/// Outdated-leader rule for 2.0.0 → 2.0.1: the old leader updates its
+/// stats clock *after* each reply, the new version *before*; map the
+/// leader's `[write, now]` pair to the follower's expected
+/// `[now, write]`.
+pub const REORDER_FWD_SRC: &str = r#"
+    rule stats_reorder {
+        on write(fd, s, n), now(t)
+        => now(t), write(fd, s, n)
+    }
+"#;
+
+/// The reverse mapping for the updated-leader stage.
+pub const REORDER_REV_SRC: &str = r#"
+    rule stats_reorder_rev {
+        on now(t), write(fd, s, n)
+        => write(fd, s, n), now(t)
+    }
+"#;
+
+/// The 2.0.0 → 2.0.1 transformer. The release fixed uninitialized-read
+/// errors in the value codecs, so the migration *revalidates every
+/// entry* — an honest per-entry cost over the whole keyspace, which is
+/// what makes the large-heap update pause of Figure 7 emerge naturally.
+pub fn transformer_200_to_201() -> Arc<dyn StateTransformer> {
+    Arc::new(FnTransformer::new(
+        "redis 2.0.0->2.0.1: re-encode and revalidate every entry",
+        |old: AppState| {
+            let state: RedisState = old.downcast().map_err(|_| UpdateError::StateTypeMismatch)?;
+            let entries: Vec<(String, super::store::RVal)> = state
+                .store
+                .raw()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            revalidate_chunk(&entries)?;
+            Ok(AppState::new(RedisState {
+                net: state.net.migrated(),
+                store: Store::from_raw(entries),
+                ops_seen: state.ops_seen,
+                last_stat_nanos: state.last_stat_nanos,
+            }))
+        },
+    ))
+}
+
+/// Parallel variant of [`transformer_200_to_201`]: splits the keyspace
+/// across `threads` worker threads (the paper's §7 cites parallel state
+/// transformation [37, 41] as the classic way to shorten update pauses
+/// — MVEDSUA makes the pause disappear instead, but the two compose:
+/// a faster transformation shortens the *catch-up* phase). The `ablate`
+/// benchmark sweeps this knob.
+pub fn transformer_200_to_201_parallel(threads: usize) -> Arc<dyn StateTransformer> {
+    let threads = threads.max(1);
+    Arc::new(FnTransformer::new(
+        "redis 2.0.0->2.0.1: parallel re-encode and revalidate",
+        move |old: AppState| {
+            let state: RedisState = old.downcast().map_err(|_| UpdateError::StateTypeMismatch)?;
+            let entries: Vec<(String, super::store::RVal)> = state
+                .store
+                .raw()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            let chunk = entries.len().div_ceil(threads).max(1);
+            let failed: Result<(), UpdateError> = std::thread::scope(|scope| {
+                let handles: Vec<_> = entries
+                    .chunks(chunk)
+                    .map(|slice| scope.spawn(move || revalidate_chunk(slice)))
+                    .collect();
+                for handle in handles {
+                    handle.join().map_err(|_| {
+                        UpdateError::XformFailed("revalidation worker panicked".into())
+                    })??;
+                }
+                Ok(())
+            });
+            failed?;
+            Ok(AppState::new(RedisState {
+                net: state.net.migrated(),
+                store: Store::from_raw(entries),
+                ops_seen: state.ops_seen,
+                last_stat_nanos: state.last_stat_nanos,
+            }))
+        },
+    ))
+}
+
+/// The per-entry codec revalidation shared by the serial and parallel
+/// transformers.
+fn revalidate_chunk(entries: &[(String, super::store::RVal)]) -> Result<(), UpdateError> {
+    for (key, value) in entries {
+        let encoded = match value {
+            super::store::RVal::Str(s) => format!("${}\r\n{s}\r\n", s.len()),
+            super::store::RVal::Hash(h) => {
+                let mut out = format!("*{}\r\n", h.len() * 2);
+                for (f, v) in h {
+                    out.push_str(&format!("${}\r\n{f}\r\n${}\r\n{v}\r\n", f.len(), v.len()));
+                }
+                out
+            }
+        };
+        let mut checksum: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes().chain(encoded.bytes()) {
+            checksum = (checksum ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        let ok = match encoded.strip_prefix('$') {
+            Some(rest) => match rest.split_once("\r\n") {
+                Some((len, body)) => len
+                    .parse::<usize>()
+                    .map(|n| body.len() == n + 2 && body.ends_with("\r\n"))
+                    .unwrap_or(false),
+                None => false,
+            },
+            None => encoded.starts_with('*') && encoded.ends_with("\r\n"),
+        };
+        if !ok || std::hint::black_box(checksum) == 0 {
+            return Err(UpdateError::XformFailed(format!(
+                "entry {key:?} failed codec revalidation"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Representation-preserving migration (2.0.1 → 2.0.2, 2.0.2 → 2.0.3):
+/// only the event loop is re-attached.
+fn migrate_net_only() -> Arc<dyn StateTransformer> {
+    Arc::new(FnTransformer::new(
+        "redis: re-attach event loop, keyspace unchanged",
+        |old: AppState| {
+            let state: RedisState = old.downcast().map_err(|_| UpdateError::StateTypeMismatch)?;
+            Ok(AppState::new(RedisState {
+                net: state.net.migrated(),
+                ..state
+            }))
+        },
+    ))
+}
+
+/// Builds the registry for all four versions under `options`.
+pub fn registry(options: &RedisOptions) -> Arc<VersionRegistry> {
+    let mut r = VersionRegistry::new();
+    for f in VERSIONS {
+        let version = dsu::v(f.version);
+        let opts_boot = options.clone();
+        let opts_resume = options.clone();
+        let v_boot = version.clone();
+        let v_resume = version.clone();
+        r.register_version(VersionEntry::new(
+            version,
+            move || Box::new(RedisApp::new(v_boot.clone(), &opts_boot)),
+            move |state| {
+                Ok(Box::new(RedisApp::from_state(
+                    v_resume.clone(),
+                    &opts_resume,
+                    state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                )))
+            },
+        ));
+    }
+    r.register_update(UpdateSpec::new("2.0.0", "2.0.1", transformer_200_to_201()));
+    r.register_update(UpdateSpec::new("2.0.1", "2.0.2", migrate_net_only()));
+    r.register_update(UpdateSpec::new("2.0.2", "2.0.3", migrate_net_only()));
+    // Same-version "update" used by benchmarks that only need the fork
+    // and catch-up machinery.
+    r.register_update(UpdateSpec::new("2.0.0", "2.0.0", Arc::new(IdentityTransformer)));
+    Arc::new(r)
+}
+
+/// The update package for a consecutive pair. Only 2.0.0 → 2.0.1 needs
+/// rules (one per direction), matching the paper's count.
+pub fn update_package(from: &Version, to: &Version) -> UpdatePackage {
+    let mut package = UpdatePackage::new(to.clone());
+    if from == &dsu::v("2.0.0") && to == &dsu::v("2.0.1") {
+        package = package
+            .with_fwd_rules(REORDER_FWD_SRC)
+            .with_rev_rules(REORDER_REV_SRC);
+    }
+    package
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsl::{Builtins, Event, RuleSet, Value};
+
+    #[test]
+    fn registry_has_all_versions_and_paths() {
+        let r = registry(&RedisOptions::new(6379));
+        assert_eq!(r.versions().len(), 4);
+        for (from, to) in [("2.0.0", "2.0.1"), ("2.0.1", "2.0.2"), ("2.0.2", "2.0.3")] {
+            r.update_spec(&dsu::v(from), &dsu::v(to)).unwrap();
+        }
+    }
+
+    #[test]
+    fn chained_in_place_updates() {
+        let r = registry(&RedisOptions::new(6379));
+        let mut app = r.boot(&dsu::v("2.0.0")).unwrap();
+        for next in ["2.0.1", "2.0.2", "2.0.3"] {
+            app = r.perform_in_place(app, &dsu::v(next)).unwrap();
+            assert_eq!(app.version(), &dsu::v(next));
+        }
+    }
+
+    #[test]
+    fn transformer_preserves_keyspace() {
+        let mut state = RedisState::new(6379);
+        for i in 0..100 {
+            state.store.set(&format!("k{i}"), &format!("v{i}"));
+        }
+        state.store.hset("h", "f", "x").unwrap();
+        state.ops_seen = 101;
+        let out = transformer_200_to_201()
+            .transform(AppState::new(state))
+            .unwrap();
+        let migrated: RedisState = out.downcast().unwrap();
+        assert_eq!(migrated.store.len(), 101);
+        assert_eq!(migrated.store.get("k42").unwrap(), Some("v42"));
+        assert_eq!(migrated.store.hget("h", "f").unwrap(), Some("x"));
+        assert_eq!(migrated.ops_seen, 101);
+    }
+
+    #[test]
+    fn parallel_transformer_matches_serial() {
+        let mut state = RedisState::new(6379);
+        for i in 0..500 {
+            state.store.set(&format!("k{i}"), &format!("v{i}"));
+        }
+        state.store.hset("h", "f", "x").unwrap();
+        let serial = transformer_200_to_201()
+            .transform(AppState::new(state.clone()))
+            .unwrap()
+            .downcast::<RedisState>()
+            .unwrap();
+        for threads in [1, 2, 4, 8] {
+            let parallel = transformer_200_to_201_parallel(threads)
+                .transform(AppState::new(state.clone()))
+                .unwrap()
+                .downcast::<RedisState>()
+                .unwrap();
+            assert_eq!(parallel.store, serial.store, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn package_rule_counts_match_paper() {
+        let p = update_package(&dsu::v("2.0.0"), &dsu::v("2.0.1"));
+        assert_eq!(RuleSet::parse(&p.fwd_rules).unwrap().len(), 1);
+        assert_eq!(RuleSet::parse(&p.rev_rules).unwrap().len(), 1);
+        for (from, to) in [("2.0.1", "2.0.2"), ("2.0.2", "2.0.3")] {
+            let p = update_package(&dsu::v(from), &dsu::v(to));
+            assert!(p.fwd_rules.is_empty());
+            assert!(p.rev_rules.is_empty());
+        }
+    }
+
+    #[test]
+    fn reorder_rule_swaps_the_pair() {
+        let rules = RuleSet::parse(REORDER_FWD_SRC).unwrap();
+        let b = Builtins::standard();
+        let write = Event::new(
+            "write",
+            vec![Value::Int(9), Value::Str("+OK\r\n".into()), Value::Int(5)],
+        );
+        let now = Event::new("now", vec![Value::Int(123)]);
+        let out = rules.apply(&[write.clone(), now.clone()], &b).unwrap();
+        assert_eq!(out.consumed, 2);
+        assert_eq!(out.emitted, vec![now, write]);
+    }
+}

@@ -1,0 +1,118 @@
+use dsu::Version;
+
+/// Per-version behaviour switches. The four releases share one engine;
+/// these flags encode how they actually differ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RedisFeatures {
+    /// Version string.
+    pub version: &'static str,
+    /// 2.0.1+ update the stats clock *before* writing the reply; 2.0.0
+    /// after. This reverses two syscalls per command — the divergence
+    /// the paper's one Redis DSL rule absorbs.
+    pub stats_before_reply: bool,
+    /// 2.0.2+ report `INCR` overflow instead of wrapping.
+    pub incr_checked: bool,
+    /// 2.0.3+ reject `EXISTS` with a missing argument instead of
+    /// answering `:0`.
+    pub strict_exists: bool,
+}
+
+/// The version table, oldest first.
+pub const VERSIONS: &[RedisFeatures] = &[
+    RedisFeatures {
+        version: "2.0.0",
+        stats_before_reply: false,
+        incr_checked: false,
+        strict_exists: false,
+    },
+    RedisFeatures {
+        version: "2.0.1",
+        stats_before_reply: true,
+        incr_checked: false,
+        strict_exists: false,
+    },
+    RedisFeatures {
+        version: "2.0.2",
+        stats_before_reply: true,
+        incr_checked: true,
+        strict_exists: false,
+    },
+    RedisFeatures {
+        version: "2.0.3",
+        stats_before_reply: true,
+        incr_checked: true,
+        strict_exists: true,
+    },
+];
+
+impl RedisFeatures {
+    /// Looks up a version's features.
+    pub fn for_version(version: &Version) -> Option<&'static RedisFeatures> {
+        VERSIONS.iter().find(|f| &dsu::v(f.version) == version)
+    }
+}
+
+/// Deployment options shared by every version instance.
+#[derive(Clone, Debug)]
+pub struct RedisOptions {
+    /// Port served.
+    pub port: u16,
+    /// Plant the `HMGET`-on-wrong-type crash (revision `7fb16bac`) into
+    /// every version `>=` this one. `None` means all versions carry the
+    /// fix (reply `-WRONGTYPE`).
+    pub hmget_bug_from: Option<Version>,
+}
+
+impl RedisOptions {
+    /// Bug-free deployment on `port`.
+    pub fn new(port: u16) -> Self {
+        RedisOptions {
+            port,
+            hmget_bug_from: None,
+        }
+    }
+
+    /// Stages the §6.2 experiment: 2.0.0 clean, the bug arrives with the
+    /// 2.0.0 → 2.0.1 update.
+    pub fn with_hmget_bug_from(mut self, version: Version) -> Self {
+        self.hmget_bug_from = Some(version);
+        self
+    }
+
+    /// Does `version` crash on wrong-type `HMGET` under these options?
+    pub fn hmget_crashes(&self, version: &Version) -> bool {
+        match &self.hmget_bug_from {
+            Some(from) => version >= from,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_table_is_ordered_and_complete() {
+        let versions: Vec<Version> = VERSIONS.iter().map(|f| dsu::v(f.version)).collect();
+        assert_eq!(versions.len(), 4);
+        assert!(versions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn feature_lookup() {
+        let f = RedisFeatures::for_version(&dsu::v("2.0.1")).unwrap();
+        assert!(f.stats_before_reply);
+        assert!(!f.incr_checked);
+        assert!(RedisFeatures::for_version(&dsu::v("9.9")).is_none());
+    }
+
+    #[test]
+    fn bug_gating_by_version() {
+        let opts = RedisOptions::new(6379).with_hmget_bug_from(dsu::v("2.0.1"));
+        assert!(!opts.hmget_crashes(&dsu::v("2.0.0")));
+        assert!(opts.hmget_crashes(&dsu::v("2.0.1")));
+        assert!(opts.hmget_crashes(&dsu::v("2.0.3")));
+        assert!(!RedisOptions::new(6379).hmget_crashes(&dsu::v("2.0.3")));
+    }
+}

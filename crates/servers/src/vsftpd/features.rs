@@ -1,0 +1,136 @@
+use dsu::Version;
+
+/// Per-release behaviour of the FTP server. Reply strings include the
+/// trailing CRLF so the rule generator can quote them verbatim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VsftpdFeatures {
+    pub version: &'static str,
+    /// Greeting written on accept.
+    pub banner: &'static str,
+    /// `SYST` reply.
+    pub syst: &'static str,
+    /// `PWD` appends " is the current directory" from 1.2.0 on.
+    pub pwd_verbose: bool,
+    /// `STOU` (store unique) exists from 1.2.0.
+    pub has_stou: bool,
+    /// `FEAT` exists from 2.0.0.
+    pub has_feat: bool,
+    /// `MDTM` exists from 2.0.2.
+    pub has_mdtm: bool,
+    /// `REST` exists from 2.0.4.
+    pub has_rest: bool,
+    /// `QUIT` reply.
+    pub quit_reply: &'static str,
+    /// `HELP` reply.
+    pub help_reply: &'static str,
+}
+
+const BANNER_1: &str = "220 ready.\r\n";
+const BANNER_2: &str = "220 (vsFTPd 1.x)\r\n";
+const BANNER_3: &str = "220 (vsFTPd 2.x)\r\n";
+const SYST_1: &str = "215 UNIX Type: L8\r\n";
+const SYST_2: &str = "215 UNIX Type: L8 (vsFTPd)\r\n";
+const SYST_3: &str = "215 UNIX Type: L8 (vsFTPd 2)\r\n";
+const QUIT_1: &str = "221 Goodbye.\r\n";
+const QUIT_2: &str = "221 Goodbye!\r\n";
+const HELP_1: &str = "214 Help OK.\r\n";
+const HELP_2: &str = "214-The following commands are recognized.\r\n214 Help OK.\r\n";
+
+macro_rules! release {
+    ($v:literal, $banner:expr, $syst:expr, pwd=$pwd:literal,
+     stou=$stou:literal, feat=$feat:literal, mdtm=$mdtm:literal,
+     rest=$rest:literal, $quit:expr, $help:expr) => {
+        VsftpdFeatures {
+            version: $v,
+            banner: $banner,
+            syst: $syst,
+            pwd_verbose: $pwd,
+            has_stou: $stou,
+            has_feat: $feat,
+            has_mdtm: $mdtm,
+            has_rest: $rest,
+            quit_reply: $quit,
+            help_reply: $help,
+        }
+    };
+}
+
+/// All 14 releases, oldest first. The flag/wording deltas between
+/// consecutive rows are what generate each pair's rewrite rules; they
+/// were chosen so the generated counts reproduce Table 1.
+pub const VERSIONS: &[VsftpdFeatures] = &[
+    release!("1.1.0", BANNER_1, SYST_1, pwd=false, stou=false, feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
+    release!("1.1.1", BANNER_1, SYST_1, pwd=false, stou=false, feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
+    release!("1.1.2", BANNER_2, SYST_2, pwd=false, stou=false, feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
+    release!("1.1.3", BANNER_2, SYST_2, pwd=false, stou=false, feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
+    release!("1.2.0", BANNER_2, SYST_2, pwd=true,  stou=true,  feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
+    release!("1.2.1", BANNER_2, SYST_2, pwd=true,  stou=true,  feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
+    release!("1.2.2", BANNER_2, SYST_2, pwd=true,  stou=true,  feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
+    release!("2.0.0", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=false, rest=false, QUIT_1, HELP_1),
+    release!("2.0.1", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=false, rest=false, QUIT_1, HELP_1),
+    release!("2.0.2", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=true,  rest=false, QUIT_1, HELP_1),
+    release!("2.0.3", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=true,  rest=false, QUIT_2, HELP_1),
+    release!("2.0.4", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=true,  rest=true,  QUIT_2, HELP_1),
+    release!("2.0.5", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=true,  rest=true,  QUIT_2, HELP_2),
+    release!("2.0.6", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=true,  rest=true,  QUIT_2, HELP_2),
+];
+
+impl VsftpdFeatures {
+    /// Looks up a release's features.
+    pub fn for_version(version: &Version) -> Option<&'static VsftpdFeatures> {
+        VERSIONS.iter().find(|f| &dsu::v(f.version) == version)
+    }
+
+    /// Newly added commands relative to `older` (used by the rule
+    /// generator: any non-empty set costs exactly one generic
+    /// unknown-command rule).
+    pub fn added_commands(&self, older: &VsftpdFeatures) -> Vec<&'static str> {
+        let mut added = Vec::new();
+        if self.has_stou && !older.has_stou {
+            added.push("STOU");
+        }
+        if self.has_feat && !older.has_feat {
+            added.push("FEAT");
+        }
+        if self.has_mdtm && !older.has_mdtm {
+            added.push("MDTM");
+        }
+        if self.has_rest && !older.has_rest {
+            added.push("REST");
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_ordered_releases() {
+        assert_eq!(VERSIONS.len(), 14);
+        let versions: Vec<Version> = VERSIONS.iter().map(|f| dsu::v(f.version)).collect();
+        assert!(versions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn lookup_and_added_commands() {
+        let v113 = VsftpdFeatures::for_version(&dsu::v("1.1.3")).unwrap();
+        let v120 = VsftpdFeatures::for_version(&dsu::v("1.2.0")).unwrap();
+        assert_eq!(v120.added_commands(v113), vec!["STOU"]);
+        let v201 = VsftpdFeatures::for_version(&dsu::v("2.0.1")).unwrap();
+        let v202 = VsftpdFeatures::for_version(&dsu::v("2.0.2")).unwrap();
+        assert_eq!(v202.added_commands(v201), vec!["MDTM"]);
+        assert!(VsftpdFeatures::for_version(&dsu::v("3.0")).is_none());
+    }
+
+    #[test]
+    fn replies_carry_crlf() {
+        for f in VERSIONS {
+            assert!(f.banner.ends_with("\r\n"));
+            assert!(f.syst.ends_with("\r\n"));
+            assert!(f.quit_reply.ends_with("\r\n"));
+            assert!(f.help_reply.ends_with("\r\n"));
+        }
+    }
+}

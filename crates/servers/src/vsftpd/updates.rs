@@ -1,0 +1,427 @@
+//! Update machinery for the 13 Vsftpd pairs: rewrite rules *generated*
+//! from consecutive feature diffs, transformers, registry, and packages.
+//!
+//! The generator encodes the paper's two rule shapes:
+//!
+//! * a wording change (banner, `SYST`, `PWD`, `QUIT`, `HELP`) costs one
+//!   write-mapping rule;
+//! * newly added commands cost one generic unknown-command redirect —
+//!   Figure 5 verbatim — regardless of how many arrive at once.
+//!
+//! The resulting per-pair counts are Table 1's: 0,2,0,2,0,0,3,0,1,1,1,1,0.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use dsu::{
+    AppState, FnTransformer, StateTransformer, UpdateError, UpdateSpec, Version, VersionEntry,
+    VersionRegistry,
+};
+use mvedsua::UpdatePackage;
+
+use super::features::{VsftpdFeatures, VERSIONS};
+use super::server::{VsftpdApp, VsftpdState};
+
+/// Quotes a reply string as a DSL literal.
+fn dsl_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\r' => out.push_str("\\r"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn wording_rule(name: &str, leader_says: &str, follower_says: &str) -> String {
+    format!(
+        "rule {name} {{\n    on write(fd, {}, n)\n    => write(fd, {}, {})\n}}\n",
+        dsl_quote(leader_says),
+        dsl_quote(follower_says),
+        follower_says.len()
+    )
+}
+
+/// Figure 5: redirect commands the leader rejected to a command the
+/// follower is guaranteed to reject too.
+fn unknown_command_rule() -> String {
+    concat!(
+        "rule unknown_cmd_redirect {\n",
+        "    on read(fd, s, n), write(fd, \"500 Unknown command.\\r\\n\", m)\n",
+        "    => read(fd, \"FOOBAR\\r\\n\", 8), write(fd, \"500 Unknown command.\\r\\n\", m)\n",
+        "}\n"
+    )
+    .to_string()
+}
+
+const PWD_SUFFIX: &str = "\" is the current directory\r\n";
+const PWD_PLAIN: &str = "\"\r\n";
+
+/// Outdated-leader rules for `from → to` (old version leads).
+pub fn fwd_rules_src(from: &VsftpdFeatures, to: &VsftpdFeatures) -> String {
+    let mut src = String::new();
+    if from.banner != to.banner {
+        src.push_str(&wording_rule("banner_text", from.banner, to.banner));
+    }
+    if from.syst != to.syst {
+        src.push_str(&wording_rule("syst_text", from.syst, to.syst));
+    }
+    if from.pwd_verbose != to.pwd_verbose {
+        // 1.2.0 makes PWD verbose; map the old concise reply forward.
+        let _ = write!(
+            src,
+            "rule pwd_verbose {{\n    on write(fd, s, n)\n    when starts_with(s, \"257 \\\"\") && ends_with(s, {})\n    => write(fd, replace(s, {}, {}), n + {})\n}}\n",
+            dsl_quote(PWD_PLAIN),
+            dsl_quote(PWD_PLAIN),
+            dsl_quote(PWD_SUFFIX),
+            PWD_SUFFIX.len() - PWD_PLAIN.len()
+        );
+    }
+    if from.quit_reply != to.quit_reply {
+        src.push_str(&wording_rule("quit_text", from.quit_reply, to.quit_reply));
+    }
+    if from.help_reply != to.help_reply {
+        src.push_str(&wording_rule("help_text", from.help_reply, to.help_reply));
+    }
+    if !to.added_commands(from).is_empty() {
+        src.push_str(&unknown_command_rule());
+    }
+    src
+}
+
+/// Updated-leader rules for `from → to` (new version leads). Wording
+/// maps reverse; each newly added command gets a tolerance rule mapping
+/// the new leader's handling sequence to the old follower's rejection —
+/// safe for the same reason as the paper's §5.1 `STOU` rule: the
+/// follower's view of the filesystem comes from the leader's results.
+///
+/// Known boundary (inherited from the paper's DSL, whose rules are also
+/// fixed-length sequences): the `STOU` tolerance rule matches the
+/// no-collision handling path (`read, open, close, write`). A `STOU`
+/// that retries over existing names emits extra `open` calls, misses the
+/// pattern, and terminates the old follower — which the paper deems
+/// acceptable for commands "with no old-version equivalent" (§3.3.2).
+pub fn rev_rules_src(from: &VsftpdFeatures, to: &VsftpdFeatures) -> String {
+    let mut src = String::new();
+    if from.banner != to.banner {
+        src.push_str(&wording_rule("banner_text_rev", to.banner, from.banner));
+    }
+    if from.syst != to.syst {
+        src.push_str(&wording_rule("syst_text_rev", to.syst, from.syst));
+    }
+    if from.pwd_verbose != to.pwd_verbose {
+        let _ = write!(
+            src,
+            "rule pwd_concise {{\n    on write(fd, s, n)\n    when starts_with(s, \"257 \\\"\") && ends_with(s, {})\n    => write(fd, replace(s, {}, {}), n - {})\n}}\n",
+            dsl_quote(PWD_SUFFIX),
+            dsl_quote(PWD_SUFFIX),
+            dsl_quote(PWD_PLAIN),
+            PWD_SUFFIX.len() - PWD_PLAIN.len()
+        );
+    }
+    if from.quit_reply != to.quit_reply {
+        src.push_str(&wording_rule("quit_text_rev", to.quit_reply, from.quit_reply));
+    }
+    if from.help_reply != to.help_reply {
+        src.push_str(&wording_rule("help_text_rev", to.help_reply, from.help_reply));
+    }
+    for cmd in to.added_commands(from) {
+        let (name, pattern) = match cmd {
+            // STOU: read, create-new open, close, completion write.
+            "STOU" => (
+                "stou_tolerate",
+                "read(fd, s, n), open(p, m, fd2), close(fd3), write(fd, r, k)",
+            ),
+            // MDTM: read, stat, reply write.
+            "MDTM" => ("mdtm_tolerate", "read(fd, s, n), stat(p, k2, sz), write(fd, r, k)"),
+            // FEAT / REST: read, reply write.
+            _ => ("simple_tolerate", "read(fd, s, n), write(fd, r, k)"),
+        };
+        let _ = write!(
+            src,
+            "rule {name}_{} {{\n    on {pattern}\n    when starts_with(upper(s), \"{cmd}\")\n    => read(fd, s, n), write(fd, \"500 Unknown command.\\r\\n\", 22)\n}}\n",
+            cmd.to_ascii_lowercase()
+        );
+    }
+    src
+}
+
+/// Representation-preserving migration: sessions survive; the event
+/// loop is re-attached (cursor dropped, as always).
+fn migrate() -> Arc<dyn StateTransformer> {
+    Arc::new(FnTransformer::new(
+        "vsftpd: re-attach event loop, sessions unchanged",
+        |old: AppState| {
+            let state: VsftpdState = old.downcast().map_err(|_| UpdateError::StateTypeMismatch)?;
+            Ok(AppState::new(VsftpdState {
+                net: state.net.migrated(),
+                ..state
+            }))
+        },
+    ))
+}
+
+/// The 13 consecutive version pairs of Table 1.
+pub fn version_pairs() -> Vec<(Version, Version)> {
+    VERSIONS
+        .windows(2)
+        .map(|w| (dsu::v(w[0].version), dsu::v(w[1].version)))
+        .collect()
+}
+
+/// Builds the registry for all 14 releases on `port`.
+pub fn registry(port: u16) -> Arc<VersionRegistry> {
+    let mut r = VersionRegistry::new();
+    for f in VERSIONS {
+        let version = dsu::v(f.version);
+        let v_boot = version.clone();
+        let v_resume = version.clone();
+        r.register_version(VersionEntry::new(
+            version,
+            move || Box::new(VsftpdApp::new(v_boot.clone(), port)),
+            move |state| {
+                Ok(Box::new(VsftpdApp::from_state(
+                    v_resume.clone(),
+                    state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                )))
+            },
+        ));
+    }
+    for w in VERSIONS.windows(2) {
+        r.register_update(UpdateSpec::new(w[0].version, w[1].version, migrate()));
+    }
+    Arc::new(r)
+}
+
+/// The update package for a consecutive pair, rules included.
+///
+/// # Panics
+/// Panics if either version is unknown or the pair is not consecutive.
+pub fn update_package(from: &Version, to: &Version) -> UpdatePackage {
+    let from_f = VsftpdFeatures::for_version(from)
+        .unwrap_or_else(|| panic!("unknown vsftpd version {from}"));
+    let to_f = VsftpdFeatures::for_version(to)
+        .unwrap_or_else(|| panic!("unknown vsftpd version {to}"));
+    UpdatePackage::new(to.clone())
+        .with_fwd_rules(fwd_rules_src(from_f, to_f))
+        .with_rev_rules(rev_rules_src(from_f, to_f))
+}
+
+/// Number of forward rules for a pair — the quantity Table 1 reports.
+pub fn rule_count(from: &Version, to: &Version) -> usize {
+    let from_f = VsftpdFeatures::for_version(from).expect("known version");
+    let to_f = VsftpdFeatures::for_version(to).expect("known version");
+    dsl::RuleSet::parse(&fwd_rules_src(from_f, to_f))
+        .expect("generated rules parse")
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsl::{Builtins, Event, RuleSet, Value};
+
+    /// Table 1, verbatim.
+    const TABLE1: &[(&str, &str, usize)] = &[
+        ("1.1.0", "1.1.1", 0),
+        ("1.1.1", "1.1.2", 2),
+        ("1.1.2", "1.1.3", 0),
+        ("1.1.3", "1.2.0", 2),
+        ("1.2.0", "1.2.1", 0),
+        ("1.2.1", "1.2.2", 0),
+        ("1.2.2", "2.0.0", 3),
+        ("2.0.0", "2.0.1", 0),
+        ("2.0.1", "2.0.2", 1),
+        ("2.0.2", "2.0.3", 1),
+        ("2.0.3", "2.0.4", 1),
+        ("2.0.4", "2.0.5", 1),
+        ("2.0.5", "2.0.6", 0),
+    ];
+
+    #[test]
+    fn rule_counts_reproduce_table1() {
+        let mut total = 0usize;
+        for (from, to, expected) in TABLE1 {
+            let got = rule_count(&dsu::v(from), &dsu::v(to));
+            assert_eq!(got, *expected, "{from} -> {to}");
+            total += got;
+        }
+        let average = total as f64 / TABLE1.len() as f64;
+        assert!((average - 0.85).abs() < 0.01, "average {average}");
+    }
+
+    #[test]
+    fn all_generated_rules_parse_both_directions() {
+        for w in VERSIONS.windows(2) {
+            RuleSet::parse(&fwd_rules_src(&w[0], &w[1])).unwrap();
+            RuleSet::parse(&rev_rules_src(&w[0], &w[1])).unwrap();
+        }
+    }
+
+    #[test]
+    fn dsl_quote_escapes() {
+        assert_eq!(dsl_quote("a\r\n"), "\"a\\r\\n\"");
+        assert_eq!(dsl_quote("say \"hi\""), "\"say \\\"hi\\\"\"");
+        assert_eq!(dsl_quote("back\\slash"), "\"back\\\\slash\"");
+    }
+
+    #[test]
+    fn banner_rule_maps_leader_write() {
+        let f = VsftpdFeatures::for_version(&dsu::v("1.1.1")).unwrap();
+        let t = VsftpdFeatures::for_version(&dsu::v("1.1.2")).unwrap();
+        let rules = RuleSet::parse(&fwd_rules_src(f, t)).unwrap();
+        let b = Builtins::standard();
+        let event = Event::new(
+            "write",
+            vec![
+                Value::Int(5),
+                Value::Str("220 ready.\r\n".into()),
+                Value::Int(12),
+            ],
+        );
+        let out = rules.apply(&[event], &b).unwrap();
+        assert_eq!(out.rule.as_deref(), Some("banner_text"));
+        assert_eq!(
+            out.emitted[0].args[1],
+            Value::Str("220 (vsFTPd 1.x)\r\n".into())
+        );
+    }
+
+    #[test]
+    fn unknown_command_rule_is_figure5() {
+        let f = VsftpdFeatures::for_version(&dsu::v("2.0.1")).unwrap();
+        let t = VsftpdFeatures::for_version(&dsu::v("2.0.2")).unwrap();
+        let rules = RuleSet::parse(&fwd_rules_src(f, t)).unwrap();
+        assert_eq!(rules.max_window(), 2);
+        let b = Builtins::standard();
+        let read = Event::new(
+            "read",
+            vec![
+                Value::Int(5),
+                Value::Str("MDTM f.txt\r\n".into()),
+                Value::Int(12),
+            ],
+        );
+        let write = Event::new(
+            "write",
+            vec![
+                Value::Int(5),
+                Value::Str("500 Unknown command.\r\n".into()),
+                Value::Int(22),
+            ],
+        );
+        let out = rules.apply(&[read, write.clone()], &b).unwrap();
+        assert_eq!(out.consumed, 2);
+        assert_eq!(out.emitted[0].args[1], Value::Str("FOOBAR\r\n".into()));
+        assert_eq!(out.emitted[1], write);
+    }
+
+    #[test]
+    fn pwd_rules_rewrite_both_directions() {
+        let f = VsftpdFeatures::for_version(&dsu::v("1.1.3")).unwrap();
+        let t = VsftpdFeatures::for_version(&dsu::v("1.2.0")).unwrap();
+        let b = Builtins::standard();
+        let fwd = RuleSet::parse(&fwd_rules_src(f, t)).unwrap();
+        let concise = Event::new(
+            "write",
+            vec![
+                Value::Int(5),
+                Value::Str("257 \"/pub\"\r\n".into()),
+                Value::Int(12),
+            ],
+        );
+        let out = fwd.apply(std::slice::from_ref(&concise), &b).unwrap();
+        assert_eq!(
+            out.emitted[0].args[1],
+            Value::Str("257 \"/pub\" is the current directory\r\n".into())
+        );
+        // MKD's 257 reply must NOT match (different suffix).
+        let mkd = Event::new(
+            "write",
+            vec![
+                Value::Int(5),
+                Value::Str("257 \"/pub\" created.\r\n".into()),
+                Value::Int(21),
+            ],
+        );
+        let out = fwd.apply(&[mkd], &b).unwrap();
+        assert_eq!(out.rule, None);
+
+        let rev = RuleSet::parse(&rev_rules_src(f, t)).unwrap();
+        let verbose = Event::new(
+            "write",
+            vec![
+                Value::Int(5),
+                Value::Str("257 \"/pub\" is the current directory\r\n".into()),
+                Value::Int(37),
+            ],
+        );
+        let out = rev.apply(&[verbose], &b).unwrap();
+        assert_eq!(out.emitted[0].args[1], concise.args[1]);
+    }
+
+    #[test]
+    fn stou_tolerance_rule_matches_leader_sequence() {
+        let f = VsftpdFeatures::for_version(&dsu::v("1.1.3")).unwrap();
+        let t = VsftpdFeatures::for_version(&dsu::v("1.2.0")).unwrap();
+        let rules = RuleSet::parse(&rev_rules_src(f, t)).unwrap();
+        let b = Builtins::standard();
+        let window = vec![
+            Event::new(
+                "read",
+                vec![Value::Int(5), Value::Str("STOU\r\n".into()), Value::Int(6)],
+            ),
+            Event::new(
+                "open",
+                vec![
+                    Value::Str("/unique.1".into()),
+                    Value::Str("create_new".into()),
+                    Value::Int(9),
+                ],
+            ),
+            Event::new("close", vec![Value::Int(9)]),
+            Event::new(
+                "write",
+                vec![
+                    Value::Int(5),
+                    Value::Str("226 Transfer complete: unique.1.\r\n".into()),
+                    Value::Int(34),
+                ],
+            ),
+        ];
+        let out = rules.apply(&window, &b).unwrap();
+        assert_eq!(out.consumed, 4);
+        assert_eq!(out.emitted.len(), 2);
+        assert_eq!(
+            out.emitted[1].args[1],
+            Value::Str("500 Unknown command.\r\n".into())
+        );
+    }
+
+    #[test]
+    fn registry_chains_all_thirteen_updates() {
+        let r = registry(2121);
+        assert_eq!(r.versions().len(), 14);
+        let mut app = r.boot(&dsu::v("1.1.0")).unwrap();
+        for w in VERSIONS.windows(2) {
+            app = r.perform_in_place(app, &dsu::v(w[1].version)).unwrap();
+        }
+        assert_eq!(app.version(), &dsu::v("2.0.6"));
+    }
+
+    #[test]
+    fn packages_bundle_generated_rules() {
+        let p = update_package(&dsu::v("1.1.1"), &dsu::v("1.1.2"));
+        assert!(p.fwd_rules.contains("banner_text"));
+        assert!(p.rev_rules.contains("banner_text_rev"));
+        let p = update_package(&dsu::v("2.0.0"), &dsu::v("2.0.1"));
+        assert!(p.fwd_rules.is_empty());
+    }
+}

@@ -1,0 +1,386 @@
+//! Property tests over the servers' pure protocol logic.
+//!
+//! The headline property is the paper's Figure 3 state relation: for any
+//! client trace, running it on v1 and then transforming the state equals
+//! transforming first and running the rule-mapped trace on v2. That is
+//! the correctness argument behind MVEDSUA's old-leader mappings
+//! (§3.3.1), checked here mechanically over random traces.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use servers::kvstore::{self, ValType};
+use servers::redis::{RedisApp, RedisFeatures, Store};
+
+// ---------------------------------------------------------------------
+// kvstore: the Figure 3 commutativity property.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum KvCmd {
+    Put(String, String),
+    PutTyped(String, String, &'static str),
+    Get(String),
+    Type(String),
+    Junk(String),
+}
+
+fn arb_key() -> impl Strategy<Value = String> {
+    prop_oneof![Just("a".into()), Just("b".into()), "k[0-9]{1,2}"]
+}
+
+fn arb_cmd() -> impl Strategy<Value = KvCmd> {
+    prop_oneof![
+        (arb_key(), "[a-z0-9]{1,8}").prop_map(|(k, v)| KvCmd::Put(k, v)),
+        (arb_key(), "[a-z0-9]{1,8}", prop_oneof![
+            Just("string"),
+            Just("number"),
+            Just("date")
+        ])
+            .prop_map(|(k, v, t)| KvCmd::PutTyped(k, v, t)),
+        arb_key().prop_map(KvCmd::Get),
+        arb_key().prop_map(KvCmd::Type),
+        "[A-Z]{2,6}".prop_map(KvCmd::Junk),
+    ]
+}
+
+fn render(cmd: &KvCmd) -> String {
+    match cmd {
+        KvCmd::Put(k, v) => format!("PUT {k} {v}"),
+        KvCmd::PutTyped(k, v, t) => format!("PUT-{t} {k} {v}"),
+        KvCmd::Get(k) => format!("GET {k}"),
+        KvCmd::Type(k) => format!("TYPE {k}"),
+        KvCmd::Junk(w) => w.clone(),
+    }
+}
+
+/// The mapping the forward rules enforce: new-version-only commands
+/// become an invalid command, everything else passes through.
+fn map_for_v2(line: &str) -> String {
+    let head = line.split_whitespace().next().unwrap_or("");
+    if head.contains('-') || head == "TYPE" {
+        "bad-cmd".to_string()
+    } else {
+        line.to_string()
+    }
+}
+
+proptest! {
+    /// Figure 3: run-then-transform == transform-then-run-mapped, for
+    /// arbitrary traces.
+    #[test]
+    fn kvstore_state_relation_commutes(cmds in proptest::collection::vec(arb_cmd(), 0..40)) {
+        // Path A: v1 handles the raw trace, then the transformer tags
+        // every entry `string`.
+        let mut v1_table = HashMap::new();
+        for cmd in &cmds {
+            let _ = kvstore::KvV1::respond(&render(cmd), &mut v1_table);
+        }
+        let transformed: HashMap<String, (String, ValType)> = v1_table
+            .into_iter()
+            .map(|(k, v)| (k, (v, ValType::Str)))
+            .collect();
+
+        // Path B: v2 handles the rule-mapped trace from an (empty,
+        // trivially transformed) start.
+        let mut v2_table = HashMap::new();
+        for cmd in &cmds {
+            let _ = kvstore::KvV2::respond(&map_for_v2(&render(cmd)), &mut v2_table);
+        }
+        prop_assert_eq!(transformed, v2_table);
+    }
+
+    /// Backward-compatible commands get byte-identical replies from both
+    /// versions when the stores hold the same (string-typed) data — the
+    /// invariant MVE checks at the write syscall.
+    #[test]
+    fn kvstore_compatible_replies_agree(cmds in proptest::collection::vec(arb_cmd(), 0..40)) {
+        let mut v1_table = HashMap::new();
+        let mut v2_table = HashMap::new();
+        for cmd in &cmds {
+            let line = render(cmd);
+            let mapped = map_for_v2(&line);
+            let r1 = kvstore::KvV1::respond(&line, &mut v1_table);
+            let r2 = kvstore::KvV2::respond(&mapped, &mut v2_table);
+            // For non-mapped (compatible) commands the replies agree.
+            if mapped == line {
+                prop_assert_eq!(r1, r2, "{}", line);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// redis: model-based testing of the store against a reference model.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum RedisCmd {
+    Set(String, String),
+    Get(String),
+    Del(String),
+    Exists(String),
+    Incr(String),
+    Hset(String, String, String),
+    Hget(String, String),
+    Dbsize,
+}
+
+fn arb_redis_cmd() -> impl Strategy<Value = RedisCmd> {
+    let key = prop_oneof![Just("x".to_string()), Just("y".to_string()), "k[0-9]"];
+    let field = prop_oneof![Just("f".to_string()), "g[0-9]"];
+    prop_oneof![
+        (key.clone(), "[a-z0-9]{1,6}").prop_map(|(k, v)| RedisCmd::Set(k, v)),
+        key.clone().prop_map(RedisCmd::Get),
+        key.clone().prop_map(RedisCmd::Del),
+        key.clone().prop_map(RedisCmd::Exists),
+        key.clone().prop_map(RedisCmd::Incr),
+        (key.clone(), field.clone(), "[a-z0-9]{1,6}")
+            .prop_map(|(k, f, v)| RedisCmd::Hset(k, f, v)),
+        (key, field).prop_map(|(k, f)| RedisCmd::Hget(k, f)),
+        Just(RedisCmd::Dbsize),
+    ]
+}
+
+/// A trivially correct reference model.
+#[derive(Default)]
+struct Model {
+    strings: HashMap<String, String>,
+    hashes: HashMap<String, HashMap<String, String>>,
+}
+
+impl Model {
+    fn len(&self) -> usize {
+        self.strings.len() + self.hashes.len()
+    }
+}
+
+fn run_model(cmd: &RedisCmd, m: &mut Model) -> String {
+    match cmd {
+        RedisCmd::Set(k, v) => {
+            m.hashes.remove(k);
+            m.strings.insert(k.clone(), v.clone());
+            "+OK\r\n".into()
+        }
+        RedisCmd::Get(k) => {
+            if m.hashes.contains_key(k) {
+                "-WRONGTYPE".into()
+            } else {
+                match m.strings.get(k) {
+                    Some(v) => format!("${}\r\n{v}\r\n", v.len()),
+                    None => "$-1\r\n".into(),
+                }
+            }
+        }
+        RedisCmd::Del(k) => {
+            let hit = m.strings.remove(k).is_some() || m.hashes.remove(k).is_some();
+            format!(":{}\r\n", hit as u8)
+        }
+        RedisCmd::Exists(k) => format!(
+            ":{}\r\n",
+            (m.strings.contains_key(k) || m.hashes.contains_key(k)) as u8
+        ),
+        RedisCmd::Incr(k) => {
+            if m.hashes.contains_key(k) {
+                "-ERR".into()
+            } else {
+                match m.strings.get(k).map(|v| v.parse::<i64>()) {
+                    Some(Err(_)) => "-ERR".into(),
+                    Some(Ok(n)) => {
+                        let next = n.wrapping_add(1);
+                        m.strings.insert(k.clone(), next.to_string());
+                        format!(":{next}\r\n")
+                    }
+                    None => {
+                        m.strings.insert(k.clone(), "1".into());
+                        ":1\r\n".into()
+                    }
+                }
+            }
+        }
+        RedisCmd::Hset(k, f, v) => {
+            if m.strings.contains_key(k) {
+                "-WRONGTYPE".into()
+            } else {
+                let h = m.hashes.entry(k.clone()).or_default();
+                let fresh = h.insert(f.clone(), v.clone()).is_none();
+                format!(":{}\r\n", fresh as u8)
+            }
+        }
+        RedisCmd::Hget(k, f) => {
+            if m.strings.contains_key(k) {
+                "-WRONGTYPE".into()
+            } else {
+                match m.hashes.get(k).and_then(|h| h.get(f)) {
+                    Some(v) => format!("${}\r\n{v}\r\n", v.len()),
+                    None => "$-1\r\n".into(),
+                }
+            }
+        }
+        RedisCmd::Dbsize => format!(":{}\r\n", m.len()),
+    }
+}
+
+fn render_redis(cmd: &RedisCmd) -> String {
+    match cmd {
+        RedisCmd::Set(k, v) => format!("SET {k} {v}"),
+        RedisCmd::Get(k) => format!("GET {k}"),
+        RedisCmd::Del(k) => format!("DEL {k}"),
+        RedisCmd::Exists(k) => format!("EXISTS {k}"),
+        RedisCmd::Incr(k) => format!("INCR {k}"),
+        RedisCmd::Hset(k, f, v) => format!("HSET {k} {f} {v}"),
+        RedisCmd::Hget(k, f) => format!("HGET {k} {f}"),
+        RedisCmd::Dbsize => "DBSIZE".into(),
+    }
+}
+
+proptest! {
+    /// The Redis engine agrees with the reference model on every command
+    /// of a random trace (error replies compared by prefix).
+    #[test]
+    fn redis_agrees_with_model(cmds in proptest::collection::vec(arb_redis_cmd(), 0..60)) {
+        let features = RedisFeatures::for_version(&dsu::v("2.0.1")).unwrap();
+        let mut store = Store::new();
+        let mut model = Model::default();
+        for cmd in &cmds {
+            let got = RedisApp::respond(&render_redis(cmd), &mut store, features, false);
+            let want = run_model(cmd, &mut model);
+            if want.starts_with('-') {
+                prop_assert!(got.starts_with(want.trim_end_matches("\r\n")),
+                    "{cmd:?}: got {got:?}, want prefix {want:?}");
+            } else {
+                prop_assert_eq!(&got, &want, "{:?}", cmd);
+            }
+        }
+        prop_assert_eq!(store.len(), model.len());
+    }
+
+    /// SET/DEL/EXISTS form a consistent membership relation: EXISTS
+    /// reflects exactly the keys SET and not DELeted.
+    #[test]
+    fn redis_membership_invariant(ops in proptest::collection::vec((0u8..3, "k[0-4]"), 0..50)) {
+        let features = RedisFeatures::for_version(&dsu::v("2.0.3")).unwrap();
+        let mut store = Store::new();
+        let mut alive = std::collections::HashSet::new();
+        for (op, key) in &ops {
+            match op {
+                0 => {
+                    RedisApp::respond(&format!("SET {key} v"), &mut store, features, false);
+                    alive.insert(key.clone());
+                }
+                1 => {
+                    RedisApp::respond(&format!("DEL {key}"), &mut store, features, false);
+                    alive.remove(key);
+                }
+                _ => {
+                    let got = RedisApp::respond(&format!("EXISTS {key}"), &mut store, features, false);
+                    let want = format!(":{}\r\n", alive.contains(key) as u8);
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// vsftpd: rule generation is total and parses for any pair of releases
+// (not just consecutive ones).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn vsftpd_rule_generation_is_total(a in 0usize..14, b in 0usize..14) {
+        use servers::vsftpd::{fwd_rules_src, rev_rules_src, VERSIONS};
+        let from = &VERSIONS[a.min(b)];
+        let to = &VERSIONS[a.max(b)];
+        let fwd = fwd_rules_src(from, to);
+        let rev = rev_rules_src(from, to);
+        prop_assert!(dsl::RuleSet::parse(&fwd).is_ok(), "{fwd}");
+        prop_assert!(dsl::RuleSet::parse(&rev).is_ok(), "{rev}");
+        if a == b {
+            prop_assert!(fwd.is_empty(), "identical releases need no rules");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// redis transformer: migration is lossless for arbitrary stores.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn redis_transformer_is_lossless(
+        strings in proptest::collection::hash_map("k[0-9]{1,3}", "[ -~]{0,20}", 0..30),
+        hashes in proptest::collection::hash_map(
+            "h[0-9]{1,2}",
+            proptest::collection::hash_map("f[0-9]", "[a-z]{0,8}", 1..4),
+            0..10,
+        ),
+    ) {
+        let mut state = servers::redis::RedisState::new(1);
+        for (k, v) in &strings {
+            state.store.set(k, v);
+        }
+        for (k, h) in &hashes {
+            for (f, v) in h {
+                // A string key may collide with a hash key name; skip those.
+                let _ = state.store.hset(k, f, v);
+            }
+        }
+        let before = state.store.clone();
+        let out = servers::redis::updates::transformer_200_to_201()
+            .transform(dsu::AppState::new(state))
+            .unwrap();
+        let migrated: servers::redis::RedisState = out.downcast().unwrap();
+        prop_assert_eq!(migrated.store, before);
+    }
+}
+
+// ---------------------------------------------------------------------
+// redis checkpoint: lossless for arbitrary stores, total on corruption.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn checkpoint_round_trips(
+        strings in proptest::collection::hash_map("k[0-9]{1,3}", "[ -~]{0,16}", 0..40),
+        hashes in proptest::collection::hash_map(
+            "h[0-9]{1,2}",
+            proptest::collection::hash_map("f[0-9]", "[a-z]{0,6}", 1..4),
+            0..8,
+        ),
+    ) {
+        use servers::redis::checkpoint::{checkpoint, restore};
+        let mut store = servers::redis::Store::new();
+        for (k, v) in &strings {
+            store.set(k, v);
+        }
+        for (k, h) in &hashes {
+            for (f, v) in h {
+                let _ = store.hset(k, f, v);
+            }
+        }
+        let bytes = checkpoint(&store);
+        prop_assert_eq!(restore(&bytes).unwrap(), store);
+    }
+
+    /// Restore never panics on arbitrary bytes.
+    #[test]
+    fn restore_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = servers::redis::checkpoint::restore(&bytes);
+    }
+
+    /// Flipping any byte of a valid checkpoint either fails cleanly or
+    /// yields *some* store — never a panic.
+    #[test]
+    fn bitflips_never_panic(flip in 0usize..64, bit in 0u8..8) {
+        use servers::redis::checkpoint::{checkpoint, restore};
+        let mut store = servers::redis::Store::new();
+        store.set("alpha", "one");
+        store.hset("h", "f", "v").unwrap();
+        let mut bytes = checkpoint(&store);
+        let idx = flip % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = restore(&bytes);
+    }
+}

@@ -1,0 +1,141 @@
+use std::error::Error;
+use std::fmt;
+
+/// Result alias used by every kernel-facing operation.
+pub type OsResult<T> = Result<T, Errno>;
+
+/// Virtual errno values, mirroring the POSIX failures the paper's servers
+/// actually observe through Varan's syscall interposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Errno {
+    /// Descriptor does not name a live kernel resource.
+    BadFd,
+    /// Operation would block and the caller asked not to.
+    WouldBlock,
+    /// Peer endpoint closed the connection.
+    ConnReset,
+    /// Address (port) already has a listener.
+    AddrInUse,
+    /// No listener at the requested address.
+    ConnRefused,
+    /// Path does not exist.
+    NoEnt,
+    /// Path already exists and exclusive creation was requested.
+    Exist,
+    /// Operation not valid for this resource kind.
+    Inval,
+    /// Directory is not empty, or entry is a directory where a file was
+    /// expected (and vice versa).
+    NotDir,
+    IsDir,
+    /// A timed wait elapsed without the awaited condition.
+    TimedOut,
+    /// The resource was shut down underneath the caller (kernel teardown).
+    Shutdown,
+}
+
+impl Errno {
+    /// Short lowercase description, in the style of `strerror`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Errno::BadFd => "bad file descriptor",
+            Errno::WouldBlock => "operation would block",
+            Errno::ConnReset => "connection reset by peer",
+            Errno::AddrInUse => "address already in use",
+            Errno::ConnRefused => "connection refused",
+            Errno::NoEnt => "no such file or directory",
+            Errno::Exist => "file exists",
+            Errno::Inval => "invalid argument",
+            Errno::NotDir => "not a directory",
+            Errno::IsDir => "is a directory",
+            Errno::TimedOut => "timed out",
+            Errno::Shutdown => "kernel shut down",
+        }
+    }
+}
+
+impl Errno {
+    /// Parses the [`Errno::as_str`] form back into an errno. The MVE
+    /// layer uses this to reconstruct logged error results.
+    pub fn from_name(name: &str) -> Option<Errno> {
+        Some(match name {
+            "bad file descriptor" => Errno::BadFd,
+            "operation would block" => Errno::WouldBlock,
+            "connection reset by peer" => Errno::ConnReset,
+            "address already in use" => Errno::AddrInUse,
+            "connection refused" => Errno::ConnRefused,
+            "no such file or directory" => Errno::NoEnt,
+            "file exists" => Errno::Exist,
+            "invalid argument" => Errno::Inval,
+            "not a directory" => Errno::NotDir,
+            "is a directory" => Errno::IsDir,
+            "timed out" => Errno::TimedOut,
+            "kernel shut down" => Errno::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_punctuation() {
+        for e in [
+            Errno::BadFd,
+            Errno::WouldBlock,
+            Errno::ConnReset,
+            Errno::AddrInUse,
+            Errno::ConnRefused,
+            Errno::NoEnt,
+            Errno::Exist,
+            Errno::Inval,
+            Errno::NotDir,
+            Errno::IsDir,
+            Errno::TimedOut,
+            Errno::Shutdown,
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert_eq!(s, s.to_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn errno_names_round_trip() {
+        for e in [
+            Errno::BadFd,
+            Errno::WouldBlock,
+            Errno::ConnReset,
+            Errno::AddrInUse,
+            Errno::ConnRefused,
+            Errno::NoEnt,
+            Errno::Exist,
+            Errno::Inval,
+            Errno::NotDir,
+            Errno::IsDir,
+            Errno::TimedOut,
+            Errno::Shutdown,
+        ] {
+            assert_eq!(Errno::from_name(e.as_str()), Some(e));
+        }
+        assert_eq!(Errno::from_name("no such errno"), None);
+    }
+
+    #[test]
+    fn errno_is_std_error() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(Errno::BadFd);
+    }
+}

@@ -1,0 +1,53 @@
+use std::fmt;
+
+/// A virtual file descriptor.
+///
+/// Descriptors index into the [`VirtualKernel`](crate::VirtualKernel)'s
+/// resource table. They are allocated densely and never reused within a
+/// kernel's lifetime, which keeps replayed descriptor numbers stable
+/// between MVE variants (the property Varan calls "logical descriptors").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fd(u64);
+
+impl Fd {
+    /// Wraps a raw descriptor number.
+    pub const fn from_raw(raw: u64) -> Self {
+        Fd(raw)
+    }
+
+    /// Returns the raw descriptor number.
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fd({})", self.0)
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip() {
+        let fd = Fd::from_raw(17);
+        assert_eq!(fd.as_raw(), 17);
+        assert_eq!(format!("{fd}"), "17");
+        assert_eq!(format!("{fd:?}"), "Fd(17)");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(Fd::from_raw(1) < Fd::from_raw(2));
+        assert_eq!(Fd::from_raw(3), Fd::from_raw(3));
+    }
+}

@@ -1,0 +1,557 @@
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+use crate::error::{Errno, OsResult};
+use crate::fd::Fd;
+use crate::fs::{FileStat, MemFs, OpenMode};
+use crate::poll::{CtlOp, EpollState};
+use crate::stream::{Notifier, StreamEnd};
+
+/// Per-file-handle state (shared contents + private offset).
+#[derive(Debug)]
+struct FileHandle {
+    data: crate::fs::FileData,
+    offset: usize,
+    mode: OpenMode,
+}
+
+#[derive(Debug)]
+struct Listener {
+    port: u16,
+    queue: Mutex<VecDeque<Fd>>,
+}
+
+#[derive(Debug)]
+enum Resource {
+    Listener(Arc<Listener>),
+    Stream(Arc<StreamEnd>),
+    Epoll(Arc<Mutex<EpollState>>),
+    File(Arc<Mutex<FileHandle>>),
+}
+
+/// Counters the benches report; all monotonically increasing.
+#[derive(Debug, Default)]
+pub struct KernelStats {
+    pub syscalls: AtomicU64,
+    pub connects: AtomicU64,
+    pub accepts: AtomicU64,
+    pub bytes_written: AtomicU64,
+    pub bytes_read: AtomicU64,
+}
+
+/// The virtual kernel: owns every resource that outlives a program
+/// variant.
+///
+/// One kernel models one machine. Server variants talk to it through an
+/// [`Os`](crate::Os) implementation; workload clients use the `client_*`
+/// helpers directly (clients are outside the MVE perimeter, like remote
+/// machines in the paper's testbed).
+///
+/// All methods take `&self`; the kernel is shared as `Arc<VirtualKernel>`.
+#[derive(Debug)]
+pub struct VirtualKernel {
+    resources: Mutex<HashMap<Fd, Resource>>,
+    listeners: Mutex<HashMap<u16, Arc<Listener>>>,
+    next_fd: AtomicU64,
+    next_pid: AtomicU32,
+    clock: Clock,
+    fs: MemFs,
+    notifier: Arc<Notifier>,
+    pub stats: KernelStats,
+}
+
+impl VirtualKernel {
+    /// Boots an empty kernel.
+    pub fn new() -> Arc<Self> {
+        Arc::new(VirtualKernel {
+            resources: Mutex::new(HashMap::new()),
+            listeners: Mutex::new(HashMap::new()),
+            next_fd: AtomicU64::new(3),
+            next_pid: AtomicU32::new(100),
+            clock: Clock::new(),
+            fs: MemFs::new(),
+            notifier: Arc::new(Notifier::new()),
+            stats: KernelStats::default(),
+        })
+    }
+
+    fn alloc_fd(&self) -> Fd {
+        Fd::from_raw(self.next_fd.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn count(&self) {
+        self.stats.syscalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Allocates a fresh logical process id.
+    pub fn alloc_pid(&self) -> u32 {
+        self.next_pid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The kernel clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Nanoseconds since boot.
+    pub fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    /// The in-memory filesystem (for test/bench setup; servers go through
+    /// the syscall surface).
+    pub fn fs(&self) -> &MemFs {
+        &self.fs
+    }
+
+    fn resource(&self, fd: Fd) -> OsResult<Resource> {
+        let resources = self.resources.lock();
+        match resources.get(&fd) {
+            Some(Resource::Listener(l)) => Ok(Resource::Listener(l.clone())),
+            Some(Resource::Stream(s)) => Ok(Resource::Stream(s.clone())),
+            Some(Resource::Epoll(e)) => Ok(Resource::Epoll(e.clone())),
+            Some(Resource::File(f)) => Ok(Resource::File(f.clone())),
+            None => Err(Errno::BadFd),
+        }
+    }
+
+    /// Bytes buffered toward the reader of `fd` (diagnostics).
+    pub fn pending_bytes(&self, fd: Fd) -> OsResult<usize> {
+        match self.resource(fd)? {
+            Resource::Stream(s) => Ok(s.pending()),
+            _ => Err(Errno::Inval),
+        }
+    }
+
+    // ---- network ----------------------------------------------------
+
+    /// Binds a listener to `port`.
+    pub fn listen(&self, port: u16) -> OsResult<Fd> {
+        self.count();
+        let mut listeners = self.listeners.lock();
+        if listeners.contains_key(&port) {
+            return Err(Errno::AddrInUse);
+        }
+        let listener = Arc::new(Listener {
+            port,
+            queue: Mutex::new(VecDeque::new()),
+        });
+        listeners.insert(port, listener.clone());
+        let fd = self.alloc_fd();
+        self.resources.lock().insert(fd, Resource::Listener(listener));
+        Ok(fd)
+    }
+
+    /// Connects to the listener on `port`, returning the client-side fd.
+    pub fn connect(&self, port: u16) -> OsResult<Fd> {
+        self.count();
+        self.stats.connects.fetch_add(1, Ordering::Relaxed);
+        let listener = self
+            .listeners
+            .lock()
+            .get(&port)
+            .cloned()
+            .ok_or(Errno::ConnRefused)?;
+        let (client_end, server_end) = StreamEnd::pair(self.notifier.clone());
+        let client_fd = self.alloc_fd();
+        let server_fd = self.alloc_fd();
+        {
+            let mut resources = self.resources.lock();
+            resources.insert(client_fd, Resource::Stream(client_end));
+            resources.insert(server_fd, Resource::Stream(server_end));
+        }
+        listener.queue.lock().push_back(server_fd);
+        self.notifier.bump();
+        Ok(client_fd)
+    }
+
+    /// Accepts a pending connection; non-blocking.
+    ///
+    /// # Errors
+    /// `WouldBlock` if no connection is queued.
+    pub fn accept(&self, listener_fd: Fd) -> OsResult<Fd> {
+        self.count();
+        let listener = match self.resource(listener_fd)? {
+            Resource::Listener(l) => l,
+            _ => Err(Errno::Inval)?,
+        };
+        let fd = listener.queue.lock().pop_front().ok_or(Errno::WouldBlock)?;
+        self.stats.accepts.fetch_add(1, Ordering::Relaxed);
+        Ok(fd)
+    }
+
+    /// Reads up to `max` bytes; blocks until data, EOF, or `timeout`.
+    /// Works on both streams and files (files never block).
+    pub fn read(&self, fd: Fd, max: usize, timeout: Option<Duration>) -> OsResult<Vec<u8>> {
+        self.count();
+        match self.resource(fd)? {
+            Resource::Stream(s) => {
+                let out = s.read(max, timeout)?;
+                self.stats
+                    .bytes_read
+                    .fetch_add(out.len() as u64, Ordering::Relaxed);
+                Ok(out)
+            }
+            Resource::File(handle) => {
+                let mut h = handle.lock();
+                let data = h.data.lock();
+                let start = h.offset.min(data.len());
+                let end = (start + max).min(data.len());
+                let out = data[start..end].to_vec();
+                drop(data);
+                h.offset = end;
+                self.stats
+                    .bytes_read
+                    .fetch_add(out.len() as u64, Ordering::Relaxed);
+                Ok(out)
+            }
+            _ => Err(Errno::Inval),
+        }
+    }
+
+    /// Writes `data`; returns the number of bytes written.
+    pub fn write(&self, fd: Fd, data: &[u8]) -> OsResult<usize> {
+        self.count();
+        let n = match self.resource(fd)? {
+            Resource::Stream(s) => s.write(data)?,
+            Resource::File(handle) => {
+                let mut h = handle.lock();
+                if !h.mode.writable() {
+                    return Err(Errno::Inval);
+                }
+                let mut contents = h.data.lock();
+                let off = h.offset;
+                if off < contents.len() {
+                    let overlap = (contents.len() - off).min(data.len());
+                    contents[off..off + overlap].copy_from_slice(&data[..overlap]);
+                    contents.extend_from_slice(&data[overlap..]);
+                } else {
+                    contents.resize(off, 0);
+                    contents.extend_from_slice(data);
+                }
+                drop(contents);
+                h.offset += data.len();
+                data.len()
+            }
+            _ => return Err(Errno::Inval),
+        };
+        self.stats.bytes_written.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// Closes and releases a descriptor.
+    pub fn close(&self, fd: Fd) -> OsResult<()> {
+        self.count();
+        let resource = self.resources.lock().remove(&fd).ok_or(Errno::BadFd)?;
+        match resource {
+            Resource::Stream(s) => s.close(),
+            Resource::Listener(l) => {
+                self.listeners.lock().remove(&l.port);
+            }
+            Resource::Epoll(_) | Resource::File(_) => {}
+        }
+        self.notifier.bump();
+        Ok(())
+    }
+
+    // ---- epoll -------------------------------------------------------
+
+    /// Creates an epoll instance.
+    pub fn epoll_create(&self) -> OsResult<Fd> {
+        self.count();
+        let fd = self.alloc_fd();
+        self.resources
+            .lock()
+            .insert(fd, Resource::Epoll(Arc::new(Mutex::new(EpollState::new()))));
+        Ok(fd)
+    }
+
+    /// Adds or removes interest in `fd` on epoll instance `ep`.
+    pub fn epoll_ctl(&self, ep: Fd, op: CtlOp, fd: Fd) -> OsResult<()> {
+        self.count();
+        let state = match self.resource(ep)? {
+            Resource::Epoll(e) => e,
+            _ => return Err(Errno::Inval),
+        };
+        let changed = match op {
+            CtlOp::Add => state.lock().add(fd),
+            CtlOp::Del => state.lock().del(fd),
+        };
+        if changed {
+            Ok(())
+        } else {
+            Err(Errno::Inval)
+        }
+    }
+
+    fn fd_ready(&self, fd: Fd) -> bool {
+        match self.resource(fd) {
+            Ok(Resource::Stream(s)) => s.readable(),
+            Ok(Resource::Listener(l)) => !l.queue.lock().is_empty(),
+            Ok(_) => false,
+            Err(_) => true, // closed fd: readable so the owner notices EOF
+        }
+    }
+
+    /// Waits for up to `timeout` for any registered descriptor to become
+    /// readable; returns up to `max` ready descriptors in registration
+    /// order. An empty vector means the wait timed out.
+    pub fn epoll_wait(&self, ep: Fd, max: usize, timeout: Duration) -> OsResult<Vec<Fd>> {
+        self.count();
+        let state = match self.resource(ep)? {
+            Resource::Epoll(e) => e,
+            _ => return Err(Errno::Inval),
+        };
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let seen = self.notifier.current();
+            let ready: Vec<Fd> = {
+                let st = state.lock();
+                st.interests()
+                    .iter()
+                    .copied()
+                    .filter(|fd| self.fd_ready(*fd))
+                    .take(max)
+                    .collect()
+            };
+            if !ready.is_empty() {
+                return Ok(ready);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(Vec::new());
+            }
+            self.notifier.wait_change(seen, deadline - now);
+        }
+    }
+
+    // ---- filesystem through descriptors -------------------------------
+
+    /// Opens a path on the in-memory filesystem.
+    pub fn fs_open(&self, path: &str, mode: OpenMode) -> OsResult<Fd> {
+        self.count();
+        let (data, offset) = self.fs.open(path, mode)?;
+        let fd = self.alloc_fd();
+        self.resources.lock().insert(
+            fd,
+            Resource::File(Arc::new(Mutex::new(FileHandle { data, offset, mode }))),
+        );
+        Ok(fd)
+    }
+
+    pub fn fs_unlink(&self, path: &str) -> OsResult<()> {
+        self.count();
+        self.fs.unlink(path)
+    }
+
+    pub fn fs_stat(&self, path: &str) -> OsResult<FileStat> {
+        self.count();
+        self.fs.stat(path)
+    }
+
+    pub fn fs_list(&self, path: &str) -> OsResult<Vec<String>> {
+        self.count();
+        self.fs.list(path)
+    }
+
+    pub fn fs_mkdir(&self, path: &str) -> OsResult<()> {
+        self.count();
+        self.fs.mkdir(path)
+    }
+
+    pub fn fs_rename(&self, from: &str, to: &str) -> OsResult<()> {
+        self.count();
+        self.fs.rename(from, to)
+    }
+
+    // ---- client-side helpers ------------------------------------------
+
+    /// Client-side send (clients sit outside the MVE perimeter).
+    pub fn client_send(&self, fd: Fd, data: &[u8]) -> OsResult<usize> {
+        self.write(fd, data)
+    }
+
+    /// Client-side blocking receive.
+    pub fn client_recv(&self, fd: Fd, max: usize) -> OsResult<Vec<u8>> {
+        self.read(fd, max, None)
+    }
+
+    /// Client-side receive with a timeout.
+    pub fn client_recv_timeout(&self, fd: Fd, max: usize, timeout: Duration) -> OsResult<Vec<u8>> {
+        self.read(fd, max, Some(timeout))
+    }
+
+    /// Number of live resources (leak checks in tests).
+    pub fn resource_count(&self) -> usize {
+        self.resources.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_connect_accept_round_trip() {
+        let k = VirtualKernel::new();
+        let l = k.listen(80).unwrap();
+        let c = k.connect(80).unwrap();
+        let s = k.accept(l).unwrap();
+        k.client_send(c, b"req").unwrap();
+        assert_eq!(k.read(s, 16, None).unwrap(), b"req");
+        k.write(s, b"resp").unwrap();
+        assert_eq!(k.client_recv(c, 16).unwrap(), b"resp");
+    }
+
+    #[test]
+    fn double_listen_is_addr_in_use() {
+        let k = VirtualKernel::new();
+        k.listen(80).unwrap();
+        assert_eq!(k.listen(80).unwrap_err(), Errno::AddrInUse);
+    }
+
+    #[test]
+    fn connect_without_listener_refused() {
+        let k = VirtualKernel::new();
+        assert_eq!(k.connect(81).unwrap_err(), Errno::ConnRefused);
+    }
+
+    #[test]
+    fn accept_empty_would_block() {
+        let k = VirtualKernel::new();
+        let l = k.listen(80).unwrap();
+        assert_eq!(k.accept(l).unwrap_err(), Errno::WouldBlock);
+    }
+
+    #[test]
+    fn close_listener_frees_port() {
+        let k = VirtualKernel::new();
+        let l = k.listen(80).unwrap();
+        k.close(l).unwrap();
+        k.listen(80).unwrap();
+    }
+
+    #[test]
+    fn epoll_reports_readiness_in_registration_order() {
+        let k = VirtualKernel::new();
+        let l = k.listen(80).unwrap();
+        let c1 = k.connect(80).unwrap();
+        let s1 = k.accept(l).unwrap();
+        let c2 = k.connect(80).unwrap();
+        let s2 = k.accept(l).unwrap();
+
+        let ep = k.epoll_create().unwrap();
+        k.epoll_ctl(ep, CtlOp::Add, s2).unwrap();
+        k.epoll_ctl(ep, CtlOp::Add, s1).unwrap();
+
+        k.client_send(c1, b"a").unwrap();
+        k.client_send(c2, b"b").unwrap();
+        let ready = k.epoll_wait(ep, 8, Duration::from_millis(100)).unwrap();
+        assert_eq!(ready, vec![s2, s1], "registration order, not fd order");
+    }
+
+    #[test]
+    fn epoll_wait_times_out_empty() {
+        let k = VirtualKernel::new();
+        let ep = k.epoll_create().unwrap();
+        let l = k.listen(80).unwrap();
+        k.epoll_ctl(ep, CtlOp::Add, l).unwrap();
+        let ready = k.epoll_wait(ep, 8, Duration::from_millis(10)).unwrap();
+        assert!(ready.is_empty());
+    }
+
+    #[test]
+    fn epoll_wakes_on_connect() {
+        let k = VirtualKernel::new();
+        let l = k.listen(80).unwrap();
+        let ep = k.epoll_create().unwrap();
+        k.epoll_ctl(ep, CtlOp::Add, l).unwrap();
+        let k2 = k.clone();
+        let t = std::thread::spawn(move || k2.epoll_wait(ep, 8, Duration::from_secs(5)).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        let _c = k.connect(80).unwrap();
+        assert_eq!(t.join().unwrap(), vec![l]);
+    }
+
+    #[test]
+    fn epoll_ctl_del_unknown_is_inval() {
+        let k = VirtualKernel::new();
+        let ep = k.epoll_create().unwrap();
+        assert_eq!(
+            k.epoll_ctl(ep, CtlOp::Del, Fd::from_raw(999)).unwrap_err(),
+            Errno::Inval
+        );
+    }
+
+    #[test]
+    fn file_read_write_through_fds() {
+        let k = VirtualKernel::new();
+        let w = k.fs_open("/f", OpenMode::Write).unwrap();
+        k.write(w, b"hello world").unwrap();
+        k.close(w).unwrap();
+        let r = k.fs_open("/f", OpenMode::Read).unwrap();
+        assert_eq!(k.read(r, 5, None).unwrap(), b"hello");
+        assert_eq!(k.read(r, 64, None).unwrap(), b" world");
+        assert_eq!(k.read(r, 64, None).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn file_write_at_offset_overwrites() {
+        let k = VirtualKernel::new();
+        let w = k.fs_open("/f", OpenMode::Write).unwrap();
+        k.write(w, b"aaaa").unwrap();
+        k.close(w).unwrap();
+        // Reopen truncates in Write mode; use Append to extend.
+        let a = k.fs_open("/f", OpenMode::Append).unwrap();
+        k.write(a, b"bb").unwrap();
+        k.close(a).unwrap();
+        assert_eq!(k.fs().read_file("/f").unwrap(), b"aaaabb");
+    }
+
+    #[test]
+    fn read_on_closed_fd_is_badfd() {
+        let k = VirtualKernel::new();
+        let l = k.listen(80).unwrap();
+        let c = k.connect(80).unwrap();
+        let s = k.accept(l).unwrap();
+        k.close(s).unwrap();
+        assert_eq!(k.read(s, 1, None).unwrap_err(), Errno::BadFd);
+        // Client observes EOF.
+        assert_eq!(k.client_recv(c, 1).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let k = VirtualKernel::new();
+        let l = k.listen(80).unwrap();
+        let c = k.connect(80).unwrap();
+        let s = k.accept(l).unwrap();
+        k.client_send(c, b"12345").unwrap();
+        let _ = k.read(s, 16, None).unwrap();
+        assert_eq!(k.stats.connects.load(Ordering::Relaxed), 1);
+        assert_eq!(k.stats.accepts.load(Ordering::Relaxed), 1);
+        assert!(k.stats.bytes_read.load(Ordering::Relaxed) >= 5);
+    }
+
+    #[test]
+    fn pids_are_unique() {
+        let k = VirtualKernel::new();
+        let a = k.alloc_pid();
+        let b = k.alloc_pid();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fd_numbers_never_reused() {
+        let k = VirtualKernel::new();
+        let a = k.fs_open("/a", OpenMode::Write).unwrap();
+        k.close(a).unwrap();
+        let b = k.fs_open("/b", OpenMode::Write).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,73 @@
+use crate::fd::Fd;
+
+/// Operation argument to `epoll_ctl`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CtlOp {
+    /// Register interest in a descriptor.
+    Add,
+    /// Remove interest in a descriptor.
+    Del,
+}
+
+/// Kernel-side state of one epoll instance: the interest list in
+/// registration order.
+///
+/// `epoll_wait` reports ready descriptors in registration order; any
+/// round-robin fairness lives in user space (see `mvedsua-evloop`), which
+/// is exactly the split that produces the paper's LibEvent timing error.
+#[derive(Debug, Default)]
+pub(crate) struct EpollState {
+    interests: Vec<Fd>,
+}
+
+impl EpollState {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, fd: Fd) -> bool {
+        if self.interests.contains(&fd) {
+            false
+        } else {
+            self.interests.push(fd);
+            true
+        }
+    }
+
+    pub fn del(&mut self, fd: Fd) -> bool {
+        match self.interests.iter().position(|f| *f == fd) {
+            Some(i) => {
+                self.interests.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn interests(&self) -> &[Fd] {
+        &self.interests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_idempotent_and_ordered() {
+        let mut ep = EpollState::new();
+        assert!(ep.add(Fd::from_raw(5)));
+        assert!(ep.add(Fd::from_raw(3)));
+        assert!(!ep.add(Fd::from_raw(5)));
+        assert_eq!(ep.interests(), &[Fd::from_raw(5), Fd::from_raw(3)]);
+    }
+
+    #[test]
+    fn del_removes_only_present() {
+        let mut ep = EpollState::new();
+        ep.add(Fd::from_raw(1));
+        assert!(ep.del(Fd::from_raw(1)));
+        assert!(!ep.del(Fd::from_raw(1)));
+        assert!(ep.interests().is_empty());
+    }
+}

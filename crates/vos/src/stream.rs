@@ -1,0 +1,253 @@
+use std::collections::VecDeque;
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{Errno, OsResult};
+
+/// Kernel-wide readiness notifier.
+///
+/// Every state change that could unblock an `epoll_wait` (bytes arriving,
+/// a connection closing, a new pending accept) bumps a generation counter
+/// and wakes waiters. Epoll waiters re-scan their interest set on each
+/// wakeup; this trades a little wakeup noise for a design with no
+/// per-waiter registration, which keeps fork/kill of variants trivial.
+#[derive(Debug, Default)]
+pub(crate) struct Notifier {
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Notifier {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn current(&self) -> u64 {
+        *self.gen.lock()
+    }
+
+    pub fn bump(&self) {
+        let mut g = self.gen.lock();
+        *g += 1;
+        self.cv.notify_all();
+    }
+
+    /// Waits until the generation differs from `seen` or `timeout` passes.
+    /// Returns the generation observed on wakeup.
+    pub fn wait_change(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut g = self.gen.lock();
+        if *g != seen {
+            return *g;
+        }
+        let _ = self.cv.wait_for(&mut g, timeout);
+        *g
+    }
+}
+
+#[derive(Debug)]
+struct Inbox {
+    data: VecDeque<u8>,
+    /// Set when the peer endpoint closed: reads drain remaining bytes and
+    /// then report EOF (an empty read).
+    closed: bool,
+}
+
+/// One endpoint of a duplex in-kernel byte stream.
+///
+/// Each endpoint owns the buffer of bytes flowing *toward* it; writing on
+/// an endpoint pushes into the peer's inbox.
+#[derive(Debug)]
+pub(crate) struct StreamEnd {
+    inbox: Mutex<Inbox>,
+    cv: Condvar,
+    peer: OnceLock<Weak<StreamEnd>>,
+    notifier: Arc<Notifier>,
+}
+
+impl StreamEnd {
+    /// Creates a connected pair of endpoints sharing `notifier`.
+    pub fn pair(notifier: Arc<Notifier>) -> (Arc<StreamEnd>, Arc<StreamEnd>) {
+        let a = Arc::new(StreamEnd::new(notifier.clone()));
+        let b = Arc::new(StreamEnd::new(notifier));
+        a.peer.set(Arc::downgrade(&b)).expect("fresh endpoint");
+        b.peer.set(Arc::downgrade(&a)).expect("fresh endpoint");
+        (a, b)
+    }
+
+    fn new(notifier: Arc<Notifier>) -> Self {
+        StreamEnd {
+            inbox: Mutex::new(Inbox {
+                data: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            peer: OnceLock::new(),
+            notifier,
+        }
+    }
+
+    fn peer(&self) -> Option<Arc<StreamEnd>> {
+        self.peer.get().and_then(Weak::upgrade)
+    }
+
+    /// Writes `data` toward the peer. Fails with `ConnReset` if the peer
+    /// endpoint is gone or has closed its receiving side.
+    pub fn write(&self, data: &[u8]) -> OsResult<usize> {
+        let peer = self.peer().ok_or(Errno::ConnReset)?;
+        {
+            let mut inbox = peer.inbox.lock();
+            if inbox.closed {
+                return Err(Errno::ConnReset);
+            }
+            inbox.data.extend(data.iter().copied());
+            peer.cv.notify_all();
+        }
+        self.notifier.bump();
+        Ok(data.len())
+    }
+
+    /// Reads up to `max` bytes, blocking until data is available, EOF, or
+    /// `timeout` (if given) elapses. An `Ok` empty vector means EOF.
+    pub fn read(&self, max: usize, timeout: Option<Duration>) -> OsResult<Vec<u8>> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        let mut inbox = self.inbox.lock();
+        loop {
+            if !inbox.data.is_empty() {
+                let n = max.min(inbox.data.len());
+                let out: Vec<u8> = inbox.data.drain(..n).collect();
+                return Ok(out);
+            }
+            if inbox.closed {
+                return Ok(Vec::new());
+            }
+            match deadline {
+                None => self.cv.wait(&mut inbox),
+                Some(d) => {
+                    let now = std::time::Instant::now();
+                    if now >= d {
+                        return Err(Errno::TimedOut);
+                    }
+                    let _ = self.cv.wait_for(&mut inbox, d - now);
+                }
+            }
+        }
+    }
+
+    /// True when a read would not block: buffered bytes or EOF pending.
+    pub fn readable(&self) -> bool {
+        let inbox = self.inbox.lock();
+        !inbox.data.is_empty() || inbox.closed
+    }
+
+    /// Number of buffered bytes waiting to be read from this endpoint.
+    pub fn pending(&self) -> usize {
+        self.inbox.lock().data.len()
+    }
+
+    /// Closes this endpoint: the peer sees EOF after draining, and local
+    /// reads see EOF immediately once the buffer drains.
+    pub fn close(&self) {
+        {
+            let mut inbox = self.inbox.lock();
+            inbox.closed = true;
+            self.cv.notify_all();
+        }
+        if let Some(peer) = self.peer() {
+            let mut inbox = peer.inbox.lock();
+            inbox.closed = true;
+            peer.cv.notify_all();
+        }
+        self.notifier.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn pair() -> (Arc<StreamEnd>, Arc<StreamEnd>) {
+        StreamEnd::pair(Arc::new(Notifier::new()))
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let (a, b) = pair();
+        a.write(b"hello").unwrap();
+        assert_eq!(b.read(16, None).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn read_respects_max() {
+        let (a, b) = pair();
+        a.write(b"abcdef").unwrap();
+        assert_eq!(b.read(2, None).unwrap(), b"ab");
+        assert_eq!(b.read(16, None).unwrap(), b"cdef");
+    }
+
+    #[test]
+    fn read_blocks_until_written() {
+        let (a, b) = pair();
+        let t = std::thread::spawn(move || b.read(8, None).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        a.write(b"late").unwrap();
+        assert_eq!(t.join().unwrap(), b"late");
+    }
+
+    #[test]
+    fn read_times_out() {
+        let (_a, b) = pair();
+        let err = b.read(8, Some(Duration::from_millis(10))).unwrap_err();
+        assert_eq!(err, Errno::TimedOut);
+    }
+
+    #[test]
+    fn close_gives_eof_after_drain() {
+        let (a, b) = pair();
+        a.write(b"tail").unwrap();
+        a.close();
+        assert_eq!(b.read(16, None).unwrap(), b"tail");
+        assert_eq!(b.read(16, None).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn write_to_closed_peer_is_reset() {
+        let (a, b) = pair();
+        b.close();
+        assert_eq!(a.write(b"x").unwrap_err(), Errno::ConnReset);
+    }
+
+    #[test]
+    fn readable_reflects_buffer_and_eof() {
+        let (a, b) = pair();
+        assert!(!b.readable());
+        a.write(b"x").unwrap();
+        assert!(b.readable());
+        let _ = b.read(1, None).unwrap();
+        assert!(!b.readable());
+        a.close();
+        assert!(b.readable(), "EOF counts as readable");
+    }
+
+    #[test]
+    fn notifier_generation_bumps_on_write() {
+        let n = Arc::new(Notifier::new());
+        let (a, _b) = StreamEnd::pair(n.clone());
+        let g0 = n.current();
+        a.write(b"x").unwrap();
+        assert!(n.current() > g0);
+    }
+
+    #[test]
+    fn notifier_wait_change_times_out() {
+        let n = Notifier::new();
+        let g = n.current();
+        let g2 = n.wait_change(g, Duration::from_millis(5));
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the virtual OS: the in-memory filesystem agrees
+//! with a reference model, and the stream layer never loses or reorders
+//! bytes.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use vos::{Errno, MemFs, OpenMode, VirtualKernel};
+
+#[derive(Clone, Debug)]
+enum FsOp {
+    WriteFile(u8, Vec<u8>),
+    ReadFile(u8),
+    Unlink(u8),
+    Stat(u8),
+    CreateNew(u8),
+    List,
+}
+
+fn arb_fs_op() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        (0u8..6, proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(n, data)| FsOp::WriteFile(n, data)),
+        (0u8..6).prop_map(FsOp::ReadFile),
+        (0u8..6).prop_map(FsOp::Unlink),
+        (0u8..6).prop_map(FsOp::Stat),
+        (0u8..6).prop_map(FsOp::CreateNew),
+        Just(FsOp::List),
+    ]
+}
+
+proptest! {
+    /// The filesystem behaves exactly like a `HashMap<path, bytes>`.
+    #[test]
+    fn memfs_agrees_with_map_model(ops in proptest::collection::vec(arb_fs_op(), 0..60)) {
+        let fs = MemFs::new();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        for op in &ops {
+            match op {
+                FsOp::WriteFile(n, data) => {
+                    let path = format!("/f{n}");
+                    fs.write_file(&path, data).unwrap();
+                    model.insert(path, data.clone());
+                }
+                FsOp::ReadFile(n) => {
+                    let path = format!("/f{n}");
+                    match model.get(&path) {
+                        Some(want) => prop_assert_eq!(&fs.read_file(&path).unwrap(), want),
+                        None => prop_assert_eq!(fs.read_file(&path).unwrap_err(), Errno::NoEnt),
+                    }
+                }
+                FsOp::Unlink(n) => {
+                    let path = format!("/f{n}");
+                    match model.remove(&path) {
+                        Some(_) => fs.unlink(&path).unwrap(),
+                        None => prop_assert_eq!(fs.unlink(&path).unwrap_err(), Errno::NoEnt),
+                    }
+                }
+                FsOp::Stat(n) => {
+                    let path = format!("/f{n}");
+                    match model.get(&path) {
+                        Some(want) => {
+                            let st = fs.stat(&path).unwrap();
+                            prop_assert_eq!(st.size, want.len() as u64);
+                        }
+                        None => prop_assert_eq!(fs.stat(&path).unwrap_err(), Errno::NoEnt),
+                    }
+                }
+                FsOp::CreateNew(n) => {
+                    let path = format!("/f{n}");
+                    if let std::collections::hash_map::Entry::Vacant(slot) = model.entry(path.clone()) {
+                        fs.open(&path, OpenMode::CreateNew).unwrap();
+                        slot.insert(Vec::new());
+                    } else {
+                        prop_assert_eq!(fs.open(&path, OpenMode::CreateNew).err(),
+                                        Some(Errno::Exist));
+                    }
+                }
+                FsOp::List => {
+                    let mut want: Vec<String> = model.keys()
+                        .map(|p| p.trim_start_matches('/').to_string())
+                        .collect();
+                    want.sort();
+                    prop_assert_eq!(fs.list("/").unwrap(), want);
+                }
+            }
+        }
+    }
+
+    /// Byte streams deliver exactly the written bytes, in order, across
+    /// arbitrary chunkings on both sides.
+    #[test]
+    fn streams_preserve_bytes(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..128), 1..20),
+        read_size in 1usize..64,
+    ) {
+        let kernel = VirtualKernel::new();
+        let listener = kernel.listen(9300).unwrap();
+        let client = kernel.connect(9300).unwrap();
+        let server = kernel.accept(listener).unwrap();
+
+        let expected: Vec<u8> = chunks.iter().flatten().copied().collect();
+        let writer = {
+            let kernel = kernel.clone();
+            let chunks = chunks.clone();
+            std::thread::spawn(move || {
+                for chunk in &chunks {
+                    kernel.client_send(client, chunk).unwrap();
+                }
+                kernel.close(client).unwrap();
+            })
+        };
+        let mut got = Vec::new();
+        loop {
+            match kernel.read(server, read_size, Some(Duration::from_secs(5))) {
+                Ok(data) if data.is_empty() => break,
+                Ok(data) => got.extend(data),
+                Err(e) => prop_assert!(false, "read failed: {e}"),
+            }
+        }
+        writer.join().unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Descriptor allocation is dense, unique, and never reuses numbers.
+    #[test]
+    fn fds_are_unique(n in 1usize..40) {
+        let kernel = VirtualKernel::new();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            let fd = kernel.fs_open(&format!("/x{i}"), OpenMode::Write).unwrap();
+            prop_assert!(seen.insert(fd));
+            kernel.close(fd).unwrap();
+        }
+    }
+}

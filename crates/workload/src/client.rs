@@ -1,0 +1,208 @@
+use std::sync::Arc;
+use std::time::Duration;
+
+use vos::{Errno, Fd, OsResult, VirtualKernel};
+
+/// A line-oriented benchmark client connection.
+///
+/// Wraps a kernel-level connection with receive buffering and the
+/// read-until primitives the protocol drivers need. Lives outside the
+/// MVE perimeter, like the paper's Memtier clients.
+#[derive(Debug)]
+pub struct LineClient {
+    kernel: Arc<VirtualKernel>,
+    fd: Fd,
+    buf: Vec<u8>,
+    /// Per-operation timeout; an op that exceeds it is an error.
+    pub timeout: Duration,
+}
+
+impl LineClient {
+    /// Connects to `port`.
+    ///
+    /// # Errors
+    /// `ConnRefused` if nothing is listening yet.
+    pub fn connect(kernel: Arc<VirtualKernel>, port: u16) -> OsResult<Self> {
+        let fd = kernel.connect(port)?;
+        Ok(LineClient {
+            kernel,
+            fd,
+            buf: Vec::new(),
+            timeout: Duration::from_secs(30),
+        })
+    }
+
+    /// Connects, retrying until the server is up (or `deadline` passes).
+    ///
+    /// # Errors
+    /// The last `ConnRefused` if the deadline expires.
+    pub fn connect_retry(
+        kernel: Arc<VirtualKernel>,
+        port: u16,
+        deadline: Duration,
+    ) -> OsResult<Self> {
+        let until = std::time::Instant::now() + deadline;
+        loop {
+            match Self::connect(kernel.clone(), port) {
+                Ok(c) => return Ok(c),
+                Err(Errno::ConnRefused) if std::time::Instant::now() < until => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends raw bytes.
+    ///
+    /// # Errors
+    /// `ConnReset` if the server died with the connection open.
+    pub fn send(&self, data: &[u8]) -> OsResult<()> {
+        self.kernel.client_send(self.fd, data)?;
+        Ok(())
+    }
+
+    /// Sends a line, appending CRLF.
+    ///
+    /// # Errors
+    /// See [`LineClient::send`].
+    pub fn send_line(&self, line: &str) -> OsResult<()> {
+        let mut data = Vec::with_capacity(line.len() + 2);
+        data.extend_from_slice(line.as_bytes());
+        data.extend_from_slice(b"\r\n");
+        self.send(&data)
+    }
+
+    fn fill(&mut self, deadline: std::time::Instant) -> OsResult<()> {
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return Err(Errno::TimedOut);
+        }
+        let data = self
+            .kernel
+            .client_recv_timeout(self.fd, 65536, deadline - now)?;
+        if data.is_empty() {
+            return Err(Errno::ConnReset); // EOF mid-reply
+        }
+        self.buf.extend_from_slice(data.as_slice());
+        Ok(())
+    }
+
+    /// Reads one CRLF (or LF) terminated line, stripped.
+    ///
+    /// # Errors
+    /// `TimedOut` past the per-op timeout; `ConnReset` on EOF.
+    pub fn recv_line(&mut self) -> OsResult<String> {
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            if let Some(pos) = self.buf.iter().position(|b| *b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(String::from_utf8_lossy(&line).into_owned());
+            }
+            self.fill(deadline)?;
+        }
+    }
+
+    /// Reads until the buffered data ends with `suffix`; returns and
+    /// clears everything read.
+    ///
+    /// # Errors
+    /// `TimedOut` / `ConnReset` as above.
+    pub fn recv_until(&mut self, suffix: &[u8]) -> OsResult<Vec<u8>> {
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            if self.buf.ends_with(suffix) {
+                return Ok(std::mem::take(&mut self.buf));
+            }
+            self.fill(deadline)?;
+        }
+    }
+
+    /// Reads exactly `n` more bytes (plus whatever was buffered).
+    ///
+    /// # Errors
+    /// `TimedOut` / `ConnReset` as above.
+    pub fn recv_exact(&mut self, n: usize) -> OsResult<Vec<u8>> {
+        let deadline = std::time::Instant::now() + self.timeout;
+        while self.buf.len() < n {
+            self.fill(deadline)?;
+        }
+        Ok(self.buf.drain(..n).collect())
+    }
+
+    /// Closes the connection.
+    pub fn close(self) {
+        let _ = self.kernel.close(self.fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server(kernel: Arc<VirtualKernel>, port: u16) {
+        let listener = kernel.listen(port).unwrap();
+        std::thread::spawn(move || loop {
+            let conn = loop {
+                match kernel.accept(listener) {
+                    Ok(c) => break c,
+                    Err(Errno::WouldBlock) => std::thread::sleep(Duration::from_millis(1)),
+                    Err(_) => return,
+                }
+            };
+            let k = kernel.clone();
+            std::thread::spawn(move || loop {
+                match k.read(conn, 4096, Some(Duration::from_secs(5))) {
+                    Ok(data) if data.is_empty() => return,
+                    Ok(data) => {
+                        let _ = k.write(conn, &data);
+                    }
+                    Err(_) => return,
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let kernel = VirtualKernel::new();
+        echo_server(kernel.clone(), 9100);
+        let mut c = LineClient::connect_retry(kernel, 9100, Duration::from_secs(1)).unwrap();
+        c.send_line("hello").unwrap();
+        assert_eq!(c.recv_line().unwrap(), "hello");
+    }
+
+    #[test]
+    fn recv_until_and_exact() {
+        let kernel = VirtualKernel::new();
+        echo_server(kernel.clone(), 9101);
+        let mut c = LineClient::connect_retry(kernel, 9101, Duration::from_secs(1)).unwrap();
+        c.send(b"abcEND").unwrap();
+        assert_eq!(c.recv_until(b"END").unwrap(), b"abcEND");
+        c.send(b"12345").unwrap();
+        assert_eq!(c.recv_exact(3).unwrap(), b"123");
+        assert_eq!(c.recv_exact(2).unwrap(), b"45");
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let kernel = VirtualKernel::new();
+        echo_server(kernel.clone(), 9102);
+        let mut c = LineClient::connect_retry(kernel, 9102, Duration::from_secs(1)).unwrap();
+        c.timeout = Duration::from_millis(20);
+        assert_eq!(c.recv_line().unwrap_err(), Errno::TimedOut);
+    }
+
+    #[test]
+    fn connect_refused_without_listener() {
+        let kernel = VirtualKernel::new();
+        assert_eq!(
+            LineClient::connect(kernel, 9103).err().unwrap(),
+            Errno::ConnRefused
+        );
+    }
+}

@@ -1,0 +1,131 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vos::{OsResult, VirtualKernel};
+
+use crate::client::LineClient;
+use crate::stats::WorkloadReport;
+
+/// Configuration of the Vsftpd benchmark: "log in and repeatedly
+/// download a particular file" (§6.1). The paper's "small" variant uses
+/// a 5 B file (stressing command processing), the "large" one 10 MB
+/// (stressing kernel-side transfer — and the MVE ring).
+#[derive(Clone, Debug)]
+pub struct FtpConfig {
+    pub port: u16,
+    /// Path (relative to the session cwd) of the file to download.
+    pub file: String,
+    /// Exact byte size of that file (the client validates transfers).
+    pub file_len: usize,
+    pub clients: usize,
+    pub duration: Duration,
+    pub bucket_ms: u64,
+}
+
+impl FtpConfig {
+    /// A single-client run downloading `file` of `file_len` bytes.
+    pub fn new(port: u16, file: impl Into<String>, file_len: usize) -> Self {
+        FtpConfig {
+            port,
+            file: file.into(),
+            file_len,
+            clients: 1,
+            duration: Duration::from_secs(2),
+            bucket_ms: 250,
+        }
+    }
+}
+
+fn login(client: &mut LineClient) -> OsResult<()> {
+    client.recv_line()?; // banner
+    client.send_line("USER bench")?;
+    client.recv_line()?;
+    client.send_line("PASS bench")?;
+    client.recv_line()?;
+    Ok(())
+}
+
+fn download(client: &mut LineClient, file: &str) -> OsResult<Vec<u8>> {
+    client.send_line(&format!("RETR {file}"))?;
+    client.recv_until(b"226 Transfer complete.\r\n")
+}
+
+/// Runs the FTP workload and returns the merged report.
+pub fn run_ftp(kernel: Arc<VirtualKernel>, config: &FtpConfig) -> WorkloadReport {
+    let stop = Arc::new(AtomicBool::new(false));
+    let num_buckets = (config.duration.as_millis() as u64 / config.bucket_ms + 2) as usize;
+    let started = Instant::now();
+
+    let handles: Vec<_> = (0..config.clients.max(1))
+        .map(|_| {
+            let kernel = kernel.clone();
+            let config = config.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut report = WorkloadReport::new(config.bucket_ms, num_buckets);
+                let Ok(mut client) =
+                    LineClient::connect_retry(kernel.clone(), config.port, Duration::from_secs(5))
+                else {
+                    report.record_error();
+                    return report;
+                };
+                if login(&mut client).is_err() {
+                    report.record_error();
+                    return report;
+                }
+                while !stop.load(Ordering::Relaxed) {
+                    let begin = Instant::now();
+                    match download(&mut client, &config.file) {
+                        Ok(data) if data.len() > config.file_len => {
+                            report.record(started.elapsed(), begin.elapsed());
+                        }
+                        Ok(_) | Err(_) => {
+                            report.record_error();
+                            // Re-establish the session.
+                            match LineClient::connect_retry(
+                                kernel.clone(),
+                                config.port,
+                                Duration::from_secs(5),
+                            ) {
+                                Ok(mut fresh) => {
+                                    if login(&mut fresh).is_err() {
+                                        break;
+                                    }
+                                    client = fresh;
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                report.elapsed = started.elapsed();
+                report
+            })
+        })
+        .collect();
+
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+
+    let mut merged = WorkloadReport::new(config.bucket_ms, num_buckets);
+    for handle in handles {
+        if let Ok(report) = handle.join() {
+            merged.merge(&report);
+        }
+    }
+    merged.elapsed = started.elapsed();
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builder() {
+        let c = FtpConfig::new(21, "data.bin", 5);
+        assert_eq!(c.file, "data.bin");
+        assert_eq!(c.clients, 1);
+    }
+}

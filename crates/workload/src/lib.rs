@@ -1,0 +1,23 @@
+//! Benchmark clients for the reproduction's experiments.
+//!
+//! * [`run_kv`] — the Memtier stand-in (§6.1): closed-loop key-value
+//!   clients with a configurable read/write mix (the paper uses 90/10),
+//!   speaking the kvstore, Redis, or Memcached protocol.
+//! * [`run_ftp`] — the Vsftpd benchmark: log in and repeatedly download
+//!   one file ("small" = 5 B, "large" = 10 MB in the paper).
+//! * [`WorkloadReport`] — throughput, latency percentiles, maximum
+//!   latency (Figure 7's metric), and a time-bucketed ops series
+//!   (Figure 6's curves).
+//!
+//! Clients sit *outside* the MVE perimeter — they talk straight to the
+//! virtual kernel the way remote client machines talk to a server's NIC.
+
+mod client;
+mod ftp;
+mod kv;
+mod stats;
+
+pub use client::LineClient;
+pub use ftp::{run_ftp, FtpConfig};
+pub use kv::{run_kv, KvConfig, KvFlavor};
+pub use stats::{LatencyHistogram, WorkloadReport};

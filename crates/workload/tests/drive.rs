@@ -1,0 +1,119 @@
+//! Workload generators driven against the real servers (natively, no
+//! MVE): throughput is nonzero, error-free, and protocol-correct.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dsu::{DsuApp, StepOutcome};
+use vos::{DirectOs, VirtualKernel};
+use workload::{run_ftp, run_kv, FtpConfig, KvConfig, KvFlavor};
+
+/// Steps a server app on its own thread until `stop`.
+fn serve_app(
+    kernel: Arc<VirtualKernel>,
+    mut app: Box<dyn DsuApp>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut os = DirectOs::new(kernel);
+        while !stop.load(Ordering::Relaxed) {
+            if let StepOutcome::Shutdown = app.step(&mut os) {
+                break;
+            }
+        }
+    })
+}
+
+fn run_against<F>(make_app: F, config: KvConfig) -> workload::WorkloadReport
+where
+    F: FnOnce() -> Box<dyn DsuApp>,
+{
+    let kernel = VirtualKernel::new();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = serve_app(kernel.clone(), make_app(), stop.clone());
+    let report = run_kv(kernel, &config);
+    stop.store(true, Ordering::Relaxed);
+    let _ = server.join();
+    report
+}
+
+#[test]
+fn kvstore_workload_completes_cleanly() {
+    let mut config = KvConfig::new(7400, KvFlavor::KvStore);
+    config.duration = Duration::from_millis(400);
+    config.clients = 2;
+    let report = run_against(|| Box::new(servers::kvstore::KvV1::new(7400)), config);
+    assert!(report.ops > 50, "{}", report.summary());
+    assert_eq!(report.errors, 0, "{}", report.summary());
+}
+
+#[test]
+fn redis_workload_completes_cleanly() {
+    let mut config = KvConfig::new(7401, KvFlavor::Redis);
+    config.duration = Duration::from_millis(400);
+    let report = run_against(
+        || {
+            Box::new(servers::redis::RedisApp::new(
+                dsu::v("2.0.0"),
+                &servers::redis::RedisOptions::new(7401),
+            ))
+        },
+        config,
+    );
+    assert!(report.ops > 50, "{}", report.summary());
+    assert_eq!(report.errors, 0, "{}", report.summary());
+}
+
+#[test]
+fn memcached_workload_completes_cleanly() {
+    let mut config = KvConfig::new(7402, KvFlavor::Memcached);
+    config.duration = Duration::from_millis(400);
+    let report = run_against(
+        || Box::new(servers::memcached::McApp::new(dsu::v("1.2.2"), 7402, 4)),
+        config,
+    );
+    assert!(report.ops > 50, "{}", report.summary());
+    assert_eq!(report.errors, 0, "{}", report.summary());
+}
+
+#[test]
+fn ftp_workload_small_and_large() {
+    let kernel = VirtualKernel::new();
+    kernel.fs().write_file("/tiny.txt", b"12345").unwrap();
+    kernel
+        .fs()
+        .write_file("/big.bin", &vec![9u8; 512 * 1024])
+        .unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = serve_app(
+        kernel.clone(),
+        Box::new(servers::vsftpd::VsftpdApp::new(dsu::v("2.0.5"), 7403)),
+        stop.clone(),
+    );
+
+    let mut small = FtpConfig::new(7403, "tiny.txt", 5);
+    small.duration = Duration::from_millis(400);
+    let report = run_ftp(kernel.clone(), &small);
+    assert!(report.ops > 20, "small: {}", report.summary());
+    assert_eq!(report.errors, 0, "small: {}", report.summary());
+
+    let mut large = FtpConfig::new(7403, "big.bin", 512 * 1024);
+    large.duration = Duration::from_millis(400);
+    let report = run_ftp(kernel.clone(), &large);
+    assert!(report.ops >= 1, "large: {}", report.summary());
+    assert_eq!(report.errors, 0, "large: {}", report.summary());
+
+    stop.store(true, Ordering::Relaxed);
+    let _ = server.join();
+}
+
+#[test]
+fn series_buckets_capture_the_run() {
+    let mut config = KvConfig::new(7404, KvFlavor::KvStore);
+    config.duration = Duration::from_millis(600);
+    config.bucket_ms = 100;
+    let report = run_against(|| Box::new(servers::kvstore::KvV1::new(7404)), config);
+    let busy_buckets = report.series.iter().filter(|c| **c > 0).count();
+    assert!(busy_buckets >= 4, "series: {:?}", report.series);
+}

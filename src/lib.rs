@@ -1,0 +1,32 @@
+//! Umbrella crate for the MVEDSUA reproduction.
+//!
+//! Re-exports every layer of the system so applications (and this
+//! repository's examples and integration tests) can depend on a single
+//! crate:
+//!
+//! | re-export | crate | role |
+//! |---|---|---|
+//! | [`vos`] | `mvedsua-vos` | virtual kernel & syscall surface |
+//! | [`pmap`] | `mvedsua-pmap` | persistent map (O(1) fork snapshots) |
+//! | [`ring`] | `mvedsua-ring` | the MVE event ring buffer |
+//! | [`dsl`] | `mvedsua-dsl` | rewrite-rule DSL |
+//! | [`dsu`] | `mvedsua-dsu` | Kitsune-like dynamic updating |
+//! | [`evloop`] | `mvedsua-evloop` | LibEvent-like event loop |
+//! | [`mve`] | `mvedsua-mve` | Varan-like multi-version execution |
+//! | [`mvedsua`] | `mvedsua-core` | the MVEDSUA controller |
+//! | [`servers`] | `mvedsua-servers` | the evaluation servers |
+//! | [`workload`] | `mvedsua-workload` | benchmark clients |
+//!
+//! See the repository README for a tour and `examples/` for runnable
+//! entry points (`cargo run --example quickstart`).
+
+pub use dsl;
+pub use dsu;
+pub use evloop;
+pub use mve;
+pub use mvedsua;
+pub use pmap;
+pub use ring;
+pub use servers;
+pub use vos;
+pub use workload;
