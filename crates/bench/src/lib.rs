@@ -372,6 +372,7 @@ fn run_pair(
             rules: Arc::new(dsl::RuleSet::empty()),
             builtins: Arc::new(dsl::Builtins::standard()),
             promote_to: None,
+            lag: None,
         },
         None,
     );

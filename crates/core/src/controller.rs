@@ -31,6 +31,12 @@ pub struct MvedsuaConfig {
     /// Leader/follower synchronization; `Some` models the MUC and Mx
     /// baselines instead of Varan's decoupled design.
     pub lockstep: Option<LockstepMode>,
+    /// Chaos-harness perturbation: deterministic follower lag applied to
+    /// the new-version follower while it drains the leader's ring.
+    pub follower_lag: Option<mve::LagPlan>,
+    /// Chaos-harness perturbation: stall every Nth ring pop for the given
+    /// number of nanoseconds (`(every, nanos)`); `None` disables it.
+    pub ring_pop_stall: Option<(u64, u64)>,
 }
 
 impl Default for MvedsuaConfig {
@@ -39,6 +45,8 @@ impl Default for MvedsuaConfig {
             ring_capacity: 256,
             monitor_after_promote: true,
             lockstep: None,
+            follower_lag: None,
+            ring_pop_stall: None,
         }
     }
 }

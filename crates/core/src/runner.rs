@@ -3,7 +3,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::Sender;
 use dsl::RuleSet;
@@ -219,9 +219,15 @@ fn maybe_fork(shared: &Arc<Shared>, app: &mut Box<dyn DsuApp>, os: &mut VariantO
 
     let from_version = app.version().clone();
     let ring_a: EventRing = Arc::new(ring::Ring::with_capacity(shared.config.ring_capacity));
+    if let Some((every, nanos)) = shared.config.ring_pop_stall {
+        ring_a.set_pop_stall(every, Duration::from_nanos(nanos));
+    }
     shared.register_ring(&ring_a);
     let ring_b: Option<EventRing> = if shared.config.monitor_after_promote {
         let rb: EventRing = Arc::new(ring::Ring::with_capacity(shared.config.ring_capacity));
+        if let Some((every, nanos)) = shared.config.ring_pop_stall {
+            rb.set_pop_stall(every, Duration::from_nanos(nanos));
+        }
         shared.register_ring(&rb);
         Some(rb)
     } else {
@@ -237,6 +243,7 @@ fn maybe_fork(shared: &Arc<Shared>, app: &mut Box<dyn DsuApp>, os: &mut VariantO
             ring: rb.clone(),
             lockstep: shared.config.lockstep,
         }),
+        lag: shared.config.follower_lag,
     };
     let follower_os = VariantOs::follower(
         follower_id,
@@ -254,6 +261,7 @@ fn maybe_fork(shared: &Arc<Shared>, app: &mut Box<dyn DsuApp>, os: &mut VariantO
             rules: job.rev_rules.clone(),
             builtins: job.package.builtins.clone(),
             promote_to: None,
+            lag: shared.config.follower_lag,
         },
         None => {
             let dead: EventRing = Arc::new(ring::Ring::with_capacity(1));
@@ -263,6 +271,7 @@ fn maybe_fork(shared: &Arc<Shared>, app: &mut Box<dyn DsuApp>, os: &mut VariantO
                 rules: Arc::new(RuleSet::empty()),
                 builtins: job.package.builtins.clone(),
                 promote_to: None,
+                lag: None,
             }
         }
     };

@@ -31,6 +31,32 @@ impl Stage {
             Stage::UpdatedLeader => "updated-leader",
         }
     }
+
+    /// The stages this one may legally move to (paper Figure 2):
+    ///
+    /// * `SingleLeader → OutdatedLeader` — fork at a quiescent point (t1);
+    /// * `OutdatedLeader → SingleLeader` — rollback or abandonment;
+    /// * `OutdatedLeader → Switching` — demotion marker appended (t4);
+    /// * `Switching → UpdatedLeader` — follower consumed the marker and
+    ///   took over with the old version monitored (t5);
+    /// * `Switching → SingleLeader` — ditto, but the updated-leader stage
+    ///   is bypassed (§3.2) or the other variant died mid-switch;
+    /// * `UpdatedLeader → SingleLeader` — finalize (t6) or rollback.
+    pub fn legal_next(self) -> &'static [Stage] {
+        match self {
+            Stage::SingleLeader => &[Stage::OutdatedLeader],
+            Stage::OutdatedLeader => &[Stage::SingleLeader, Stage::Switching],
+            Stage::Switching => &[Stage::SingleLeader, Stage::UpdatedLeader],
+            Stage::UpdatedLeader => &[Stage::SingleLeader],
+        }
+    }
+
+    /// Whether moving from `self` to `next` is a legal lifecycle
+    /// transition. Staying put is legal (and unrecorded by
+    /// [`Timeline::set_stage`]).
+    pub fn can_transition_to(self, next: Stage) -> bool {
+        self == next || self.legal_next().contains(&next)
+    }
 }
 
 impl fmt::Display for Stage {
@@ -164,38 +190,48 @@ impl Timeline {
 
     /// Blocks until `pred` holds over the entry list (checked after each
     /// append) or `timeout` elapses. Returns whether the predicate held.
+    ///
+    /// The deadline is measured on the **kernel clock**: under a
+    /// virtual-only clock ([`vos::Clock::new_virtual`]) time passes only
+    /// when the driver advances it, so the timeout is deterministic. The
+    /// condvar is still re-armed on short real-time slices so clock
+    /// advances made by other threads are observed promptly, and a
+    /// generous real-time failsafe prevents a stalled driver from
+    /// hanging the test suite forever.
     pub fn wait_for(
         &self,
         timeout: Duration,
         mut pred: impl FnMut(&[TimelineEntry]) -> bool,
     ) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut inner = self.inner.lock();
-        loop {
-            if pred(&inner.entries) {
-                return true;
-            }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return false;
-            }
-            let _ = self.changed.wait_for(&mut inner, deadline - now);
-        }
+        self.wait_on_kernel_clock(timeout, |inner| pred(&inner.entries))
     }
 
-    /// Blocks until the stage equals `stage`, or `timeout` elapses.
+    /// Blocks until the stage equals `stage`, or `timeout` elapses (on
+    /// the kernel clock; see [`Timeline::wait_for`]).
     pub fn wait_for_stage(&self, stage: Stage, timeout: Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
+        self.wait_on_kernel_clock(timeout, |inner| inner.stage == stage)
+    }
+
+    fn wait_on_kernel_clock(
+        &self,
+        timeout: Duration,
+        mut pred: impl FnMut(&Inner) -> bool,
+    ) -> bool {
+        const SLICE: Duration = Duration::from_millis(20);
+        let deadline_nanos = self
+            .kernel
+            .now_nanos()
+            .saturating_add(timeout.as_nanos().min(u64::MAX as u128) as u64);
+        let failsafe = std::time::Instant::now() + timeout.max(Duration::from_secs(5)) * 4;
         let mut inner = self.inner.lock();
         loop {
-            if inner.stage == stage {
+            if pred(&inner) {
                 return true;
             }
-            let now = std::time::Instant::now();
-            if now >= deadline {
+            if self.kernel.now_nanos() >= deadline_nanos || std::time::Instant::now() >= failsafe {
                 return false;
             }
-            let _ = self.changed.wait_for(&mut inner, deadline - now);
+            let _ = self.changed.wait_for(&mut inner, SLICE);
         }
     }
 }
@@ -260,6 +296,30 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         t.set_stage(Stage::UpdatedLeader);
         assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn transition_legality_matches_figure_2() {
+        assert!(Stage::SingleLeader.can_transition_to(Stage::OutdatedLeader));
+        assert!(!Stage::SingleLeader.can_transition_to(Stage::Switching));
+        assert!(!Stage::SingleLeader.can_transition_to(Stage::UpdatedLeader));
+        assert!(Stage::OutdatedLeader.can_transition_to(Stage::Switching));
+        assert!(Stage::OutdatedLeader.can_transition_to(Stage::SingleLeader));
+        assert!(!Stage::OutdatedLeader.can_transition_to(Stage::UpdatedLeader));
+        assert!(Stage::Switching.can_transition_to(Stage::UpdatedLeader));
+        assert!(Stage::Switching.can_transition_to(Stage::SingleLeader));
+        assert!(!Stage::Switching.can_transition_to(Stage::OutdatedLeader));
+        assert!(Stage::UpdatedLeader.can_transition_to(Stage::SingleLeader));
+        assert!(!Stage::UpdatedLeader.can_transition_to(Stage::OutdatedLeader));
+        // Self-loops are always legal (and unrecorded).
+        for s in [
+            Stage::SingleLeader,
+            Stage::OutdatedLeader,
+            Stage::Switching,
+            Stage::UpdatedLeader,
+        ] {
+            assert!(s.can_transition_to(s));
+        }
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Property tests for the Figure 2 stage machine: `Stage::legal_next`
+//! and `Stage::can_transition_to` must agree with each other and with
+//! the paper's lifecycle, and single-leader mode must stay reachable
+//! from every stage (the rollback guarantee, structurally).
+
+use mvedsua::Stage;
+use proptest::prelude::*;
+
+const ALL: [Stage; 4] = [
+    Stage::SingleLeader,
+    Stage::OutdatedLeader,
+    Stage::Switching,
+    Stage::UpdatedLeader,
+];
+
+fn stage() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        Just(Stage::SingleLeader),
+        Just(Stage::OutdatedLeader),
+        Just(Stage::Switching),
+        Just(Stage::UpdatedLeader),
+    ]
+}
+
+/// The Figure 2 edges, written out independently of the implementation.
+fn figure_2_allows(from: Stage, to: Stage) -> bool {
+    matches!(
+        (from, to),
+        (Stage::SingleLeader, Stage::OutdatedLeader)          // t1: fork
+            | (Stage::OutdatedLeader, Stage::Switching)       // t4: demote
+            | (Stage::OutdatedLeader, Stage::SingleLeader)    // rollback
+            | (Stage::Switching, Stage::UpdatedLeader)        // t5: promote
+            | (Stage::Switching, Stage::SingleLeader)         // rollback
+            | (Stage::UpdatedLeader, Stage::SingleLeader)     // t6 / rollback
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn staying_put_is_always_legal(s in stage()) {
+        prop_assert!(s.can_transition_to(s));
+    }
+
+    #[test]
+    fn can_transition_matches_figure_2(a in stage(), b in stage()) {
+        prop_assert_eq!(
+            a.can_transition_to(b),
+            a == b || figure_2_allows(a, b),
+            "{a} -> {b}"
+        );
+    }
+
+    #[test]
+    fn legal_next_and_can_transition_agree(a in stage()) {
+        for &b in &ALL {
+            if a != b {
+                prop_assert_eq!(
+                    a.legal_next().contains(&b),
+                    a.can_transition_to(b),
+                    "{a} -> {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_legal_walks_stay_in_the_machine(s in stage(), picks in proptest::collection::vec(0usize..4, 0..12)) {
+        // Follow any chain of legal transitions: every hop must itself
+        // be legal (closure), and no stage is ever a dead end.
+        let mut at = s;
+        for pick in picks {
+            let nexts = at.legal_next();
+            prop_assert!(!nexts.is_empty(), "{at} is a dead end");
+            let next = nexts[pick % nexts.len()];
+            prop_assert!(at.can_transition_to(next));
+            at = next;
+        }
+    }
+
+    #[test]
+    fn single_leader_is_reachable_within_two_hops(s in stage()) {
+        // The rollback property, structurally: from anywhere in the
+        // lifecycle the machine can return to quiescence in <= 2 steps.
+        let direct = s == Stage::SingleLeader
+            || s.legal_next().contains(&Stage::SingleLeader);
+        let via_one = s
+            .legal_next()
+            .iter()
+            .any(|n| n.legal_next().contains(&Stage::SingleLeader));
+        prop_assert!(direct || via_one, "{s} cannot reach single-leader");
+    }
+}

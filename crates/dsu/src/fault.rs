@@ -49,6 +49,68 @@ impl FaultPlan {
             ..FaultPlan::default()
         }
     }
+
+    /// Compact, stable text form for seed reports and replay flags:
+    /// `-` for the fault-free plan, otherwise `+`-joined tokens out of
+    /// `fail`, `drop`, `corrupt`, `poison:<steps>`, `skip-reset`,
+    /// `buggy`. [`FaultPlan::parse`] is the exact inverse.
+    pub fn encode(&self) -> String {
+        let mut tokens: Vec<String> = Vec::new();
+        match self.xform {
+            Some(XformFault::FailCleanly) => tokens.push("fail".into()),
+            Some(XformFault::DropState) => tokens.push("drop".into()),
+            Some(XformFault::CorruptField) => tokens.push("corrupt".into()),
+            Some(XformFault::PoisonLater { after_steps }) => {
+                tokens.push(format!("poison:{after_steps}"))
+            }
+            None => {}
+        }
+        if self.skip_ephemeral_reset {
+            tokens.push("skip-reset".into());
+        }
+        if self.buggy_new_code {
+            tokens.push("buggy".into());
+        }
+        if tokens.is_empty() {
+            "-".into()
+        } else {
+            tokens.join("+")
+        }
+    }
+
+    /// Parses the [`FaultPlan::encode`] form.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        if text == "-" {
+            return Ok(plan);
+        }
+        for token in text.split('+') {
+            let xform = |plan: &mut FaultPlan, fault| {
+                if plan.xform.is_some() {
+                    return Err(format!("duplicate xform fault in {text:?}"));
+                }
+                plan.xform = Some(fault);
+                Ok(())
+            };
+            match token {
+                "fail" => xform(&mut plan, XformFault::FailCleanly)?,
+                "drop" => xform(&mut plan, XformFault::DropState)?,
+                "corrupt" => xform(&mut plan, XformFault::CorruptField)?,
+                "skip-reset" => plan.skip_ephemeral_reset = true,
+                "buggy" => plan.buggy_new_code = true,
+                _ => {
+                    let Some(steps) = token.strip_prefix("poison:") else {
+                        return Err(format!("unknown fault token {token:?}"));
+                    };
+                    let after_steps = steps
+                        .parse()
+                        .map_err(|e| format!("bad poison step count {steps:?}: {e}"))?;
+                    xform(&mut plan, XformFault::PoisonLater { after_steps })?;
+                }
+            }
+        }
+        Ok(plan)
+    }
 }
 
 #[cfg(test)]
@@ -68,5 +130,26 @@ mod tests {
         let p = FaultPlan::with_xform(XformFault::DropState);
         assert_eq!(p.xform, Some(XformFault::DropState));
         assert!(!p.buggy_new_code);
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let plans = [
+            FaultPlan::none(),
+            FaultPlan::with_xform(XformFault::FailCleanly),
+            FaultPlan::with_xform(XformFault::PoisonLater { after_steps: 17 }),
+            FaultPlan {
+                xform: Some(XformFault::CorruptField),
+                skip_ephemeral_reset: true,
+                buggy_new_code: true,
+            },
+        ];
+        for plan in plans {
+            assert_eq!(FaultPlan::parse(&plan.encode()), Ok(plan));
+        }
+        assert_eq!(FaultPlan::none().encode(), "-");
+        assert!(FaultPlan::parse("bogus").is_err());
+        assert!(FaultPlan::parse("poison:x").is_err());
+        assert!(FaultPlan::parse("drop+fail").is_err());
     }
 }

@@ -1,0 +1,73 @@
+//! Property tests for the `FaultPlan` text codec: `parse` must be the
+//! exact inverse of `encode` over the whole plan space, and malformed
+//! inputs must be rejected rather than silently normalized.
+
+use dsu::{FaultPlan, XformFault};
+use proptest::prelude::*;
+
+fn fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        prop_oneof![
+            Just(None),
+            Just(Some(XformFault::FailCleanly)),
+            Just(Some(XformFault::DropState)),
+            Just(Some(XformFault::CorruptField)),
+            (0u32..10_000).prop_map(|after_steps| Some(XformFault::PoisonLater { after_steps })),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(xform, skip_ephemeral_reset, buggy_new_code)| FaultPlan {
+            xform,
+            skip_ephemeral_reset,
+            buggy_new_code,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_parse_round_trips(plan in fault_plan()) {
+        let text = plan.encode();
+        prop_assert_eq!(FaultPlan::parse(&text), Ok(plan), "{}", text);
+    }
+
+    #[test]
+    fn encoding_is_canonical(plan in fault_plan()) {
+        // Same plan -> same text, and the round-tripped plan re-encodes
+        // to the identical string (no aliasing in the text form).
+        let text = plan.encode();
+        prop_assert_eq!(&plan.encode(), &text);
+        let reparsed = FaultPlan::parse(&text).unwrap();
+        prop_assert_eq!(reparsed.encode(), text);
+    }
+
+    #[test]
+    fn fault_free_iff_dash(plan in fault_plan()) {
+        prop_assert_eq!(plan.encode() == "-", plan == FaultPlan::none());
+    }
+
+    #[test]
+    fn unknown_tokens_are_rejected(plan in fault_plan(), junk in "[a-z]{1,8}") {
+        // Appending a token that isn't part of the grammar must fail —
+        // unless the suffix happens to *be* a valid token that was not
+        // already present, in which case parsing must still agree with
+        // the grammar (never panic, never mis-assign).
+        let text = format!("{}+{}", plan.encode(), junk);
+        match FaultPlan::parse(&text) {
+            Ok(parsed) => {
+                let legal = ["fail", "drop", "corrupt", "skip-reset", "buggy"];
+                prop_assert!(legal.contains(&junk.as_str()), "{} parsed as {:?}", text, parsed);
+            }
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn duplicate_xform_faults_are_rejected(steps in 0u32..100) {
+        let doubled = format!("drop+poison:{steps}");
+        prop_assert!(FaultPlan::parse(&doubled).is_err());
+        prop_assert!(FaultPlan::parse("fail+corrupt").is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Chaos-harness CLI.
+//!
+//! ```text
+//! harness --seed 42            # replay one seed, print its trace
+//! harness --base 1000 --count 500   # soak seeds 1000..1500
+//! harness --scenarios          # run the scripted §6.2 scenarios
+//! harness --seed 0 --plant-bug # corrupt the oracle: demo the failure path
+//! ```
+//!
+//! Exits 1 if any run violates an invariant, printing the seed and the
+//! minimized trace so the failure can be replayed exactly.
+
+use std::process::ExitCode;
+
+use harness::engine::{run_plan, RunOptions};
+use harness::plan::ScenarioPlan;
+use harness::trace::{failure_report, minimize};
+use harness::scenarios;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: harness --seed N | harness [--base N] [--count N] [--verbose] | harness --scenarios\n       [--plant-bug]  corrupt the oracle's GET predictions to demo the failure path"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: Option<u64> = None;
+    let mut base: u64 = 0;
+    let mut count: u64 = 200;
+    let mut verbose = false;
+    let mut run_scenarios = false;
+    let mut plant_bug = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = Some(v),
+                None => return usage(),
+            },
+            "--base" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => base = v,
+                None => return usage(),
+            },
+            "--count" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => count = v,
+                None => return usage(),
+            },
+            "--verbose" => verbose = true,
+            "--scenarios" => run_scenarios = true,
+            "--plant-bug" => plant_bug = true,
+            _ => return usage(),
+        }
+    }
+
+    let options = RunOptions {
+        planted_model_bug: plant_bug,
+        ..RunOptions::default()
+    };
+    let mut failures = 0u64;
+
+    let check = |plan: &ScenarioPlan, verbose: bool| {
+        let report = run_plan(plan, &options);
+        if report.ok() {
+            if verbose {
+                print!("{}", report.render_trace());
+            } else {
+                println!(
+                    "seed {} ({}, {} steps): ok",
+                    plan.seed,
+                    report.backend.name(),
+                    report.steps_run
+                );
+            }
+            true
+        } else {
+            let minimized = minimize(plan, &options);
+            print!("{}", failure_report(&report, &minimized));
+            false
+        }
+    };
+
+    if run_scenarios {
+        for plan in scenarios::section_6_2() {
+            if !check(&plan, verbose) {
+                failures += 1;
+            }
+        }
+    } else if let Some(seed) = seed {
+        if !check(&ScenarioPlan::from_seed(seed), true) {
+            failures += 1;
+        }
+    } else {
+        for seed in base..base.saturating_add(count) {
+            if !check(&ScenarioPlan::from_seed(seed), verbose) {
+                failures += 1;
+            }
+        }
+        println!(
+            "swept {} seeds from {}: {} failed",
+            count, base, failures
+        );
+    }
+
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,141 @@
+//! The fault-free oracle: a pure in-harness model that predicts the
+//! *canonical* reply to every client op, independent of where in the
+//! lifecycle the request lands. The engine compares each wire reply
+//! (normalized to the same canonical form) against this model — the
+//! paper's core guarantee that clients never observe an update.
+
+use std::collections::HashMap;
+
+use crate::plan::{Backend, ClientOp};
+
+/// Canonical replies shared by every backend.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CanonReply {
+    /// Write accepted.
+    Stored,
+    /// Read hit with this value.
+    Hit(String),
+    /// Read miss.
+    Miss,
+    /// Delete removed an entry.
+    Deleted,
+    /// Delete found nothing.
+    Absent,
+    /// Vsftpd `SIZE motd.txt`.
+    Size(u64),
+    /// Vsftpd `RETR motd.txt` delivered the expected content.
+    RetrOk,
+}
+
+impl CanonReply {
+    /// Stable rendering for the trace.
+    pub fn render(&self) -> String {
+        match self {
+            CanonReply::Stored => "stored".into(),
+            CanonReply::Hit(v) => format!("hit {v}"),
+            CanonReply::Miss => "miss".into(),
+            CanonReply::Deleted => "deleted".into(),
+            CanonReply::Absent => "absent".into(),
+            CanonReply::Size(n) => format!("size {n}"),
+            CanonReply::RetrOk => "retr ok".into(),
+        }
+    }
+}
+
+/// The oracle state: a plain map plus the fixed vsftpd file.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    map: HashMap<String, String>,
+    /// Test hook: when set, the model's `Get` predictions are corrupted
+    /// (value reversed), so a healthy system *fails* the comparison —
+    /// used to prove the harness reports and minimizes failures.
+    pub planted_bug: bool,
+}
+
+/// Content of `/motd.txt` in vsftpd scenarios.
+pub const MOTD: &[u8] = b"welcome";
+
+impl Model {
+    /// Fresh, empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Applies `op` and returns the expected canonical reply.
+    pub fn expect(&mut self, _backend: Backend, op: &ClientOp) -> CanonReply {
+        match op {
+            ClientOp::Put { key, value } => {
+                self.map.insert(key.clone(), value.clone());
+                CanonReply::Stored
+            }
+            ClientOp::Get { key } => match self.map.get(key) {
+                Some(v) if self.planted_bug => {
+                    CanonReply::Hit(v.chars().rev().collect::<String>())
+                }
+                Some(v) => CanonReply::Hit(v.clone()),
+                None => CanonReply::Miss,
+            },
+            ClientOp::Del { key } => {
+                if self.map.remove(key).is_some() {
+                    CanonReply::Deleted
+                } else {
+                    CanonReply::Absent
+                }
+            }
+            ClientOp::Size => CanonReply::Size(MOTD.len() as u64),
+            ClientOp::Retr => CanonReply::RetrOk,
+        }
+    }
+
+    /// Seeds a key directly (for the engine's sentinel write).
+    pub fn insert(&mut self, key: &str, value: &str) {
+        self.map.insert(key.to_string(), value.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_del_round_trip() {
+        let mut m = Model::new();
+        assert_eq!(
+            m.expect(
+                Backend::Kvstore,
+                &ClientOp::Put {
+                    key: "a".into(),
+                    value: "1".into()
+                }
+            ),
+            CanonReply::Stored
+        );
+        assert_eq!(
+            m.expect(Backend::Kvstore, &ClientOp::Get { key: "a".into() }),
+            CanonReply::Hit("1".into())
+        );
+        assert_eq!(
+            m.expect(Backend::Redis, &ClientOp::Del { key: "a".into() }),
+            CanonReply::Deleted
+        );
+        assert_eq!(
+            m.expect(Backend::Redis, &ClientOp::Get { key: "a".into() }),
+            CanonReply::Miss
+        );
+    }
+
+    #[test]
+    fn planted_bug_corrupts_hits_only() {
+        let mut m = Model::new();
+        m.planted_bug = true;
+        m.insert("a", "abc");
+        assert_eq!(
+            m.expect(Backend::Kvstore, &ClientOp::Get { key: "a".into() }),
+            CanonReply::Hit("cba".into())
+        );
+        assert_eq!(
+            m.expect(Backend::Kvstore, &ClientOp::Get { key: "b".into() }),
+            CanonReply::Miss
+        );
+    }
+}

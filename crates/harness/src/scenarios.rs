@@ -1,0 +1,100 @@
+//! The paper's §6.2 error study as fixed, scripted scenario plans. These
+//! mirror `tests/fault_tolerance.rs` but run through the chaos engine,
+//! so the same invariant checks and trace machinery apply. Each carries
+//! a fixed seed purely as a replay label — the steps are scripted, not
+//! sampled.
+
+use dsu::{FaultPlan, XformFault};
+
+use crate::plan::{
+    Backend, ClientOp, Perturbations, ScenarioPlan, Special, Step, UpdateDecision, UpdateStep,
+};
+
+fn put(key: &str, value: &str) -> Step {
+    Step::Client(ClientOp::Put {
+        key: key.into(),
+        value: value.into(),
+    })
+}
+
+fn get(key: &str) -> Step {
+    Step::Client(ClientOp::Get { key: key.into() })
+}
+
+/// §6.2 "error in the new code": the Redis HMGET crash (revision
+/// 7fb16bac). The 2.0.0 → 2.0.1 update introduces the bug; the probe
+/// crashes the follower; MVEDSUA rolls back; clients never notice.
+pub fn redis_new_code_crash() -> ScenarioPlan {
+    ScenarioPlan {
+        seed: 0x6201,
+        backend: Backend::Redis,
+        steps: vec![
+            put("txt", "hello"),
+            Step::Update(UpdateStep {
+                from: dsu::v("2.0.0"),
+                to: dsu::v("2.0.1"),
+                fault: FaultPlan {
+                    buggy_new_code: true,
+                    ..FaultPlan::none()
+                },
+                decision: UpdateDecision::FaultAwait,
+            }),
+            get("txt"),
+        ],
+        perturb: Perturbations::none(),
+        special: None,
+    }
+}
+
+/// §6.2 "error in the state transformation": the transformer forgets to
+/// copy the table; the first read of pre-update state diverges and rolls
+/// back, with the client unaffected.
+pub fn dropped_state_divergence() -> ScenarioPlan {
+    ScenarioPlan {
+        seed: 0x6202,
+        backend: Backend::Kvstore,
+        steps: vec![
+            put("balance", "1000"),
+            Step::Update(UpdateStep {
+                from: dsu::v("1.0"),
+                to: dsu::v("2.0"),
+                fault: FaultPlan::with_xform(XformFault::DropState),
+                decision: UpdateDecision::FaultAwait,
+            }),
+            get("balance"),
+        ],
+        perturb: Perturbations::none(),
+        special: None,
+    }
+}
+
+/// §6.2 leader crash: the bug lives in the *old* version; the update
+/// fixes it. The probe kills the leader and the updated follower is
+/// promoted with all state intact.
+pub fn leader_crash_promotion() -> ScenarioPlan {
+    ScenarioPlan {
+        seed: 0x6203,
+        backend: Backend::Redis,
+        steps: vec![
+            put("txt", "hello"),
+            Step::Update(UpdateStep {
+                from: dsu::v("2.0.0"),
+                to: dsu::v("2.0.1"),
+                fault: FaultPlan::none(),
+                decision: UpdateDecision::LeaderCrashPromote,
+            }),
+            get("txt"),
+        ],
+        perturb: Perturbations::none(),
+        special: Some(Special::RedisBuggyLeader),
+    }
+}
+
+/// All three §6.2 scenarios.
+pub fn section_6_2() -> Vec<ScenarioPlan> {
+    vec![
+        redis_new_code_crash(),
+        dropped_state_divergence(),
+        leader_crash_promotion(),
+    ]
+}

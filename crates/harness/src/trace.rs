@@ -1,0 +1,63 @@
+//! Failure handling: prefix minimization and the replayable failure
+//! report. The engine stops a run at the first invariant violation, so
+//! "fails within the first `n` steps" is monotone in `n` — which makes
+//! binary search over the prefix length a sound minimizer.
+
+use crate::engine::{run_plan, RunOptions, RunReport};
+use crate::plan::ScenarioPlan;
+
+/// Finds the smallest failing prefix of `plan` and returns its report.
+///
+/// Falls back to the full-run report if (unexpectedly) no prefix fails —
+/// e.g. when the original failure was in the post-run whole-timeline
+/// checks rather than a step.
+pub fn minimize(plan: &ScenarioPlan, options: &RunOptions) -> RunReport {
+    let mut lo = 1usize;
+    let mut hi = plan.steps.len();
+    let mut best: Option<RunReport> = None;
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        let mut truncated = *options;
+        truncated.limit = Some(mid);
+        let report = run_plan(plan, &truncated);
+        if report.ok() {
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+            best = Some(report);
+        }
+    }
+    best.unwrap_or_else(|| run_plan(plan, options))
+}
+
+/// Formats a failing run into the replayable report the harness prints:
+/// the seed (the only thing needed to reproduce), the violations, and
+/// the minimized trace.
+pub fn failure_report(original: &RunReport, minimized: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "chaos scenario FAILED — replay with seed {} (cargo run -p mvedsua-harness -- --seed {})\n",
+        original.seed, original.seed
+    ));
+    for v in &original.violations {
+        out.push_str(&format!("violation: {v}\n"));
+    }
+    out.push_str(&format!(
+        "minimized to {}/{} steps; trace:\n",
+        minimized.steps_total, original.steps_total
+    ));
+    out.push_str(&minimized.render_trace());
+    out
+}
+
+/// Runs `seed` and panics with the seed + minimized trace on failure.
+/// The cargo-test smoke tier is built from this.
+pub fn assert_seed_clean(seed: u64) {
+    let plan = ScenarioPlan::from_seed(seed);
+    let options = RunOptions::default();
+    let report = run_plan(&plan, &options);
+    if !report.ok() {
+        let minimized = minimize(&plan, &options);
+        panic!("{}", failure_report(&report, &minimized));
+    }
+}

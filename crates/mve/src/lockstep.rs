@@ -28,6 +28,26 @@ impl LockstepMode {
     }
 }
 
+/// Deterministic follower-lag perturbation for the chaos harness: the
+/// follower sleeps before every `every`-th record it consumes from the
+/// ring, modelling a follower that falls behind (longer backlogs, later
+/// divergence detection, fuller rings) without changing what it
+/// consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LagPlan {
+    /// Lag before every `every`-th consumed record; 0 disables the plan.
+    pub every: u64,
+    /// Length of each injected lag, in nanoseconds.
+    pub nanos: u64,
+}
+
+impl LagPlan {
+    /// Whether the `count`-th consumed record (1-based) should lag.
+    pub fn applies_at(&self, count: u64) -> bool {
+        self.every > 0 && self.nanos > 0 && count % self.every == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,7 @@ use vos::{CtlOp, Fd, FileStat, OpenMode, Os, OsResult, SysRet, Syscall, VirtualK
 
 use crate::divergence::{Divergence, RetireReason, RetiredSignal};
 use crate::event::{ControlRecord, EventRecord, EventRing, SyscallRecord};
-use crate::lockstep::LockstepMode;
+use crate::lockstep::{LagPlan, LockstepMode};
 use crate::project::{reconstruct_result, request_matches, syscall_event};
 use crate::stats::SyscallStats;
 
@@ -44,6 +44,9 @@ pub struct FollowerConfig {
     /// `None` → sole leader immediately (the stage is bypassed, which the
     /// paper permits when reverse mappings are too hard, §3.2).
     pub promote_to: Option<LeaderConfig>,
+    /// Chaos-harness perturbation: deterministic consumer lag applied
+    /// while draining the ring. `None` runs at full speed.
+    pub lag: Option<LagPlan>,
 }
 
 /// Coarse role, for status reporting.
@@ -87,6 +90,9 @@ struct FollowerState {
     expected: VecDeque<Event>,
     last_seq: u64,
     promote_to: Option<LeaderConfig>,
+    lag: Option<LagPlan>,
+    /// Records consumed so far (1-based), for the lag schedule.
+    consumed: u64,
 }
 
 enum RoleState {
@@ -150,6 +156,8 @@ impl VariantOs {
                 expected: VecDeque::new(),
                 last_seq: 0,
                 promote_to: config.promote_to,
+                lag: config.lag,
+                consumed: 0,
             }),
             stats: Arc::new(SyscallStats::new()),
             notices,
@@ -222,6 +230,8 @@ impl VariantOs {
             expected: VecDeque::new(),
             last_seq: 0,
             promote_to: config.promote_to,
+            lag: config.lag,
+            consumed: 0,
         });
     }
 
@@ -438,6 +448,12 @@ impl VariantOs {
                 }
             }
             // Refill the expected queue from the leader's stream.
+            state.consumed += 1;
+            if let Some(lag) = state.lag {
+                if lag.applies_at(state.consumed) {
+                    std::thread::sleep(Duration::from_nanos(lag.nanos));
+                }
+            }
             let first = match state.ring.pop(None) {
                 Ok(record) => record,
                 Err(RingError::Closed) => return FollowerVerdict::Single,

@@ -112,6 +112,7 @@ proptest! {
                 rules: Arc::new(RuleSet::empty()),
                 builtins: Arc::new(Builtins::standard()),
                 promote_to: None,
+                lag: None,
             },
             None,
         );

@@ -24,6 +24,7 @@ fn follower_config(ring: EventRing) -> FollowerConfig {
         rules: Arc::new(RuleSet::empty()),
         builtins: Arc::new(Builtins::standard()),
         promote_to: None,
+        lag: None,
     }
 }
 
@@ -140,6 +141,7 @@ fn rules_reconcile_expected_differences() {
             rules: Arc::new(rules),
             builtins: Arc::new(Builtins::standard()),
             promote_to: None,
+            lag: None,
         },
         None,
     );
@@ -197,6 +199,7 @@ fn demotion_promotes_follower_via_in_band_marker() {
                 ring: ring_b,
                 lockstep: None,
             }),
+            lag: None,
         },
         None,
     );

@@ -37,6 +37,7 @@
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -97,6 +98,12 @@ pub struct Ring<T> {
     not_full: Condvar,
     not_empty: Condvar,
     capacity: usize,
+    /// Monotone `pop` call counter (drives the stall schedule).
+    pops: AtomicU64,
+    /// Stall every Nth successful `pop`; 0 disables the perturbation.
+    pop_stall_every: AtomicU64,
+    /// Length of each injected consumer stall, in nanoseconds.
+    pop_stall_nanos: AtomicU64,
 }
 
 impl<T> Ring<T> {
@@ -117,7 +124,20 @@ impl<T> Ring<T> {
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             capacity,
+            pops: AtomicU64::new(0),
+            pop_stall_every: AtomicU64::new(0),
+            pop_stall_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// Perturbation hook for the chaos harness: every `every`-th
+    /// successful `pop` sleeps for `stall` first, modelling a descheduled
+    /// or lagging consumer. `every == 0` disables it. Only timing shifts;
+    /// FIFO order and delivery are untouched.
+    pub fn set_pop_stall(&self, every: u64, stall: Duration) {
+        self.pop_stall_nanos
+            .store(stall.as_nanos() as u64, Ordering::Relaxed);
+        self.pop_stall_every.store(every, Ordering::Relaxed);
     }
 
     /// The fixed capacity.
@@ -204,6 +224,14 @@ impl<T> Ring<T> {
     /// [`RingError::TimedOut`] if `timeout` elapses;
     /// [`RingError::Poisoned`] if the ring was poisoned.
     pub fn pop(&self, timeout: Option<Duration>) -> Result<T, RingError> {
+        let call_index = self.pops.fetch_add(1, Ordering::Relaxed);
+        let every = self.pop_stall_every.load(Ordering::Relaxed);
+        if every > 0 && call_index % every == 0 {
+            let stall = Duration::from_nanos(self.pop_stall_nanos.load(Ordering::Relaxed));
+            if !stall.is_zero() {
+                std::thread::sleep(stall);
+            }
+        }
         let deadline = timeout.map(|t| Instant::now() + t);
         let mut st = self.state.lock();
         loop {

@@ -62,22 +62,53 @@ pub struct VirtualKernel {
     clock: Clock,
     fs: MemFs,
     notifier: Arc<Notifier>,
+    /// Monotone `epoll_wait` call counter (drives the delay schedule).
+    epoll_calls: AtomicU64,
+    /// Delay every Nth `epoll_wait` call; 0 disables the perturbation.
+    epoll_delay_every: AtomicU64,
+    /// Length of each injected readiness delay, in nanoseconds.
+    epoll_delay_nanos: AtomicU64,
     pub stats: KernelStats,
 }
 
 impl VirtualKernel {
     /// Boots an empty kernel.
     pub fn new() -> Arc<Self> {
+        Self::with_clock(Clock::new())
+    }
+
+    /// Boots an empty kernel whose clock only moves via
+    /// [`Clock::advance`] — the chaos harness uses this so timestamps
+    /// are a pure function of the driven schedule.
+    pub fn new_virtual() -> Arc<Self> {
+        Self::with_clock(Clock::new_virtual())
+    }
+
+    fn with_clock(clock: Clock) -> Arc<Self> {
         Arc::new(VirtualKernel {
             resources: Mutex::new(HashMap::new()),
             listeners: Mutex::new(HashMap::new()),
             next_fd: AtomicU64::new(3),
             next_pid: AtomicU32::new(100),
-            clock: Clock::new(),
+            clock,
             fs: MemFs::new(),
             notifier: Arc::new(Notifier::new()),
+            epoll_calls: AtomicU64::new(0),
+            epoll_delay_every: AtomicU64::new(0),
+            epoll_delay_nanos: AtomicU64::new(0),
             stats: KernelStats::default(),
         })
+    }
+
+    /// Perturbation hook: every `every`-th `epoll_wait` call stalls for
+    /// `delay` before scanning readiness, shifting wakeup alignment the
+    /// way a loaded host kernel would. `every == 0` disables it.
+    /// Semantics are preserved — a stalled wait still honours its
+    /// deadline and readiness set.
+    pub fn set_epoll_delay(&self, every: u64, delay: Duration) {
+        self.epoll_delay_nanos
+            .store(delay.as_nanos() as u64, Ordering::Relaxed);
+        self.epoll_delay_every.store(every, Ordering::Relaxed);
     }
 
     fn alloc_fd(&self) -> Fd {
@@ -308,6 +339,16 @@ impl VirtualKernel {
             _ => return Err(Errno::Inval),
         };
         let deadline = std::time::Instant::now() + timeout;
+        let call_index = self.epoll_calls.fetch_add(1, Ordering::Relaxed);
+        let every = self.epoll_delay_every.load(Ordering::Relaxed);
+        if every > 0 && call_index % every == 0 {
+            let delay =
+                Duration::from_nanos(self.epoll_delay_nanos.load(Ordering::Relaxed));
+            if !delay.is_zero() {
+                let seen = self.notifier.current();
+                self.notifier.wait_change(seen, delay);
+            }
+        }
         loop {
             let seen = self.notifier.current();
             let ready: Vec<Fd> = {

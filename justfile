@@ -1,0 +1,28 @@
+# Task runner for the MVEDSUA reproduction. `just --list` shows targets.
+
+# Tier-1 verification: build + the root test suite (includes the
+# 200-seed chaos smoke tier).
+verify:
+    cargo build --release
+    cargo test -q
+
+# Everything: all workspace crates' tests.
+test-all:
+    cargo test --workspace -q
+
+# The chaos smoke sweep the test tier runs, via the harness binary
+# (fixed 200-seed base; exits 1 with seed + minimized trace on failure).
+chaos-smoke:
+    cargo run --release -p mvedsua-harness -- --base 0 --count 200
+
+# Longer chaos soak over an arbitrary seed range.
+chaos-soak base="0" count="5000":
+    cargo run --release -p mvedsua-harness -- --base {{base}} --count {{count}}
+
+# Replay a single chaos seed and print its canonical trace.
+chaos-replay seed:
+    cargo run --release -p mvedsua-harness -- --seed {{seed}}
+
+# The §6.2 error study through the chaos engine.
+chaos-scenarios:
+    cargo run --release -p mvedsua-harness -- --scenarios

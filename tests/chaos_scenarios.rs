@@ -1,0 +1,61 @@
+//! The §6.2 error study executed through the chaos harness (fixed,
+//! scripted plans) — same experiments as `tests/fault_tolerance.rs`,
+//! but with the engine's full invariant checking and canonical traces.
+
+use harness::engine::{run_plan, RunOptions};
+use harness::scenarios;
+
+#[test]
+fn harness_replays_the_redis_new_code_crash() {
+    let report = run_plan(&scenarios::redis_new_code_crash(), &RunOptions::default());
+    assert!(report.ok(), "{}", report.render_trace());
+    let trace = report.render_trace();
+    assert!(trace.contains("probe hmget -> wrongtype"), "{trace}");
+    assert!(
+        trace.contains("update 2.0.0->2.0.1 fault=buggy -> rolled-back (fault)"),
+        "{trace}"
+    );
+    // The client's final read still hits: no state was lost.
+    assert!(trace.contains("op get txt -> hit hello"), "{trace}");
+}
+
+#[test]
+fn harness_replays_the_dropped_state_divergence() {
+    let report = run_plan(
+        &scenarios::dropped_state_divergence(),
+        &RunOptions::default(),
+    );
+    assert!(report.ok(), "{}", report.render_trace());
+    let trace = report.render_trace();
+    assert!(
+        trace.contains("update 1.0->2.0 fault=drop -> rolled-back (fault)"),
+        "{trace}"
+    );
+    assert!(trace.contains("op get balance -> hit 1000"), "{trace}");
+}
+
+#[test]
+fn harness_replays_the_leader_crash_promotion() {
+    let report = run_plan(&scenarios::leader_crash_promotion(), &RunOptions::default());
+    assert!(report.ok(), "{}", report.render_trace());
+    let trace = report.render_trace();
+    assert!(
+        trace.contains("update 2.0.0->2.0.1 fault=- -> leader crashed, follower promoted"),
+        "{trace}"
+    );
+    assert!(trace.contains("op get txt -> hit hello"), "{trace}");
+}
+
+#[test]
+fn all_scripted_scenarios_are_deterministic() {
+    for plan in scenarios::section_6_2() {
+        let a = run_plan(&plan, &RunOptions::default());
+        let b = run_plan(&plan, &RunOptions::default());
+        assert_eq!(
+            a.render_trace(),
+            b.render_trace(),
+            "scenario seed {} is nondeterministic",
+            plan.seed
+        );
+    }
+}

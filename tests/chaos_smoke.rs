@@ -1,0 +1,81 @@
+//! Chaos-harness smoke tier: 200 seed-driven scenarios per `cargo test`
+//! run, split four ways so the test runner parallelizes them. Each seed
+//! samples a full lifecycle scenario (workload + update schedule +
+//! injected faults + perturbations) and checks every invariant; any
+//! failure panics with the seed and a minimized, replayable trace.
+
+use harness::engine::{run_plan, RunOptions};
+use harness::plan::ScenarioPlan;
+use harness::trace::{assert_seed_clean, failure_report, minimize};
+
+const SMOKE_BASE: u64 = 0;
+
+fn sweep(lo: u64, hi: u64) {
+    for seed in lo..hi {
+        assert_seed_clean(seed);
+    }
+}
+
+#[test]
+fn chaos_smoke_seeds_000_to_050() {
+    sweep(SMOKE_BASE, SMOKE_BASE + 50);
+}
+
+#[test]
+fn chaos_smoke_seeds_050_to_100() {
+    sweep(SMOKE_BASE + 50, SMOKE_BASE + 100);
+}
+
+#[test]
+fn chaos_smoke_seeds_100_to_150() {
+    sweep(SMOKE_BASE + 100, SMOKE_BASE + 150);
+}
+
+#[test]
+fn chaos_smoke_seeds_150_to_200() {
+    sweep(SMOKE_BASE + 150, SMOKE_BASE + 200);
+}
+
+#[test]
+fn replaying_a_seed_yields_a_byte_identical_trace() {
+    // Every 10th smoke seed, run twice: the canonical trace must match
+    // byte for byte — the property that makes seeds replayable at all.
+    for seed in (SMOKE_BASE..SMOKE_BASE + 200).step_by(10) {
+        let options = RunOptions::default();
+        let plan = ScenarioPlan::from_seed(seed);
+        let first = run_plan(&plan, &options);
+        let second = run_plan(&plan, &options);
+        assert!(first.ok(), "seed {seed} failed:\n{}", first.render_trace());
+        assert_eq!(
+            first.render_trace(),
+            second.render_trace(),
+            "seed {seed} is nondeterministic"
+        );
+    }
+}
+
+#[test]
+fn planted_fault_fails_with_replayable_seed_and_minimized_trace() {
+    // Corrupt the *oracle* (every GET prediction is reversed): a healthy
+    // system must now fail the comparison, proving the harness actually
+    // detects and reports divergences rather than vacuously passing.
+    let options = RunOptions {
+        planted_model_bug: true,
+        ..RunOptions::default()
+    };
+    let plan = ScenarioPlan::from_seed(0); // seed 0's trace contains GET hits
+    let report = run_plan(&plan, &options);
+    assert!(!report.ok(), "planted oracle bug went undetected");
+
+    let minimized = minimize(&plan, &options);
+    assert!(!minimized.ok());
+    assert!(
+        minimized.steps_total < plan.steps.len(),
+        "minimizer failed to drop the trailing steps ({} of {})",
+        minimized.steps_total,
+        plan.steps.len()
+    );
+    let message = failure_report(&report, &minimized);
+    assert!(message.contains("--seed 0"), "{message}");
+    assert!(message.contains("reply mismatch"), "{message}");
+}

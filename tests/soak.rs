@@ -8,13 +8,39 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dsu::FaultPlan;
-use mvedsua::{Mvedsua, MvedsuaConfig, Stage, TimelineEvent};
+use mvedsua::{Mvedsua, MvedsuaConfig, MvedsuaError, Stage, TimelineEvent, UpdatePackage};
 use servers::kvstore;
 use workload::LineClient;
 
 fn ask(c: &mut LineClient, req: &str) -> String {
     c.send_line(req).unwrap();
     c.recv_line().unwrap()
+}
+
+/// `update_monitored` with the warmup window elapsed on the *kernel*
+/// clock: a pump thread advances virtual time while the call blocks, so
+/// the monitoring window (and any internal kernel-clock timeout) passes
+/// in milliseconds of wall time regardless of its nominal length.
+fn monitored_virtual(
+    session: &Mvedsua,
+    package: UpdatePackage,
+    warmup: Duration,
+) -> Result<(), MvedsuaError> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let pump = {
+        let kernel = session.kernel();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                kernel.clock().advance(Duration::from_millis(25).as_nanos() as u64);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+    let result = session.update_monitored(package, warmup);
+    stop.store(true, Ordering::Relaxed);
+    pump.join().unwrap();
+    result
 }
 
 #[test]
@@ -50,12 +76,13 @@ fn ten_update_rollback_cycles_lose_nothing() {
 
     for cycle in 0..10u32 {
         assert_eq!(ask(&mut c, &format!("PUT cycle{cycle} {cycle}")), "OK");
-        session
-            .update_monitored(
-                kvstore::update_package(FaultPlan::none()),
-                Duration::from_millis(30),
-            )
-            .unwrap_or_else(|e| panic!("cycle {cycle}: {e}"));
+        // The 30 ms monitoring window passes in virtual time.
+        monitored_virtual(
+            &session,
+            kvstore::update_package(FaultPlan::none()),
+            Duration::from_millis(30),
+        )
+        .unwrap_or_else(|e| panic!("cycle {cycle}: {e}"));
         // Writes continue while monitoring; every cycle key remains
         // readable with the right value.
         for probe in 0..=cycle {
@@ -127,7 +154,11 @@ fn repeated_faulty_updates_then_a_clean_one() {
         // Only this iteration's events count (earlier rollbacks linger
         // in the timeline).
         let base = session.timeline().len();
-        let result = session.update_monitored(
+        // The 400 ms fault-monitoring window elapses on the virtual
+        // clock; a fault that fires inside it still surfaces as
+        // `RolledBack`, one that lands after is caught by the probe.
+        let result = monitored_virtual(
+            &session,
             kvstore::update_package(FaultPlan::with_xform(fault)),
             Duration::from_millis(400),
         );
@@ -152,12 +183,12 @@ fn repeated_faulty_updates_then_a_clean_one() {
     }
 
     // After five failed updates, the clean one still lands.
-    session
-        .update_monitored(
-            kvstore::update_package(FaultPlan::none()),
-            Duration::from_millis(200),
-        )
-        .unwrap();
+    monitored_virtual(
+        &session,
+        kvstore::update_package(FaultPlan::none()),
+        Duration::from_millis(200),
+    )
+    .unwrap();
     session.promote().unwrap();
     assert!(session
         .timeline()

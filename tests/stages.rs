@@ -1,17 +1,44 @@
 //! Figure 2 as an executable specification: the stage machine visits
 //! t0..t7 in order, and the ring buffer bounds leader/follower skew.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use dsu::FaultPlan;
 use mve::LockstepMode;
-use mvedsua::{Mvedsua, MvedsuaConfig, Stage, TimelineEvent};
+use mvedsua::{Mvedsua, MvedsuaConfig, MvedsuaError, Stage, TimelineEvent, UpdatePackage};
 use servers::kvstore;
 use workload::LineClient;
 
 fn ask(c: &mut LineClient, req: &str) -> String {
     c.send_line(req).unwrap();
     c.recv_line().unwrap()
+}
+
+/// `update_monitored` with the warmup window elapsed on the *kernel*
+/// clock: a pump thread advances virtual time while the call blocks, so
+/// the monitoring window passes in milliseconds of wall time.
+fn monitored_virtual(
+    session: &Mvedsua,
+    package: UpdatePackage,
+    warmup: Duration,
+) -> Result<(), MvedsuaError> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let pump = {
+        let kernel = session.kernel();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                kernel.clock().advance(Duration::from_millis(25).as_nanos() as u64);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+    let result = session.update_monitored(package, warmup);
+    stop.store(true, Ordering::Relaxed);
+    pump.join().unwrap();
+    result
 }
 
 #[test]
@@ -31,12 +58,12 @@ fn figure2_stage_order() {
     assert_eq!(ask(&mut c, "PUT k 1"), "OK");
 
     // t1-t2: fork + update on the follower.
-    session
-        .update_monitored(
-            kvstore::update_package(FaultPlan::none()),
-            Duration::from_millis(100),
-        )
-        .unwrap();
+    monitored_virtual(
+        &session,
+        kvstore::update_package(FaultPlan::none()),
+        Duration::from_millis(100),
+    )
+    .unwrap();
     assert_eq!(session.stage(), Stage::OutdatedLeader);
 
     // t4-t5: demote/promote via the in-band marker.
@@ -102,12 +129,12 @@ fn tiny_ring_applies_backpressure_but_loses_nothing() {
     )
     .unwrap();
     let mut c = LineClient::connect_retry(session.kernel(), port, Duration::from_secs(5)).unwrap();
-    session
-        .update_monitored(
-            kvstore::update_package(FaultPlan::none()),
-            Duration::from_millis(100),
-        )
-        .unwrap();
+    monitored_virtual(
+        &session,
+        kvstore::update_package(FaultPlan::none()),
+        Duration::from_millis(100),
+    )
+    .unwrap();
     for i in 0..200 {
         assert_eq!(ask(&mut c, &format!("PUT k{i} {i}")), "OK");
     }
@@ -140,12 +167,12 @@ fn lockstep_baseline_also_completes_the_lifecycle() {
     .unwrap();
     let mut c = LineClient::connect_retry(session.kernel(), port, Duration::from_secs(5)).unwrap();
     assert_eq!(ask(&mut c, "PUT a 1"), "OK");
-    session
-        .update_monitored(
-            kvstore::update_package(FaultPlan::none()),
-            Duration::from_millis(100),
-        )
-        .unwrap();
+    monitored_virtual(
+        &session,
+        kvstore::update_package(FaultPlan::none()),
+        Duration::from_millis(100),
+    )
+    .unwrap();
     assert_eq!(ask(&mut c, "GET a"), "VAL 1");
     session.promote().unwrap();
     assert!(session
@@ -176,12 +203,12 @@ fn consecutive_updates_back_to_back() {
     .unwrap();
     let mut c = LineClient::connect_retry(session.kernel(), port, Duration::from_secs(5)).unwrap();
     assert_eq!(ask(&mut c, "PUT a 1"), "OK");
-    session
-        .update_monitored(
-            kvstore::update_package(FaultPlan::none()),
-            Duration::from_millis(100),
-        )
-        .unwrap();
+    monitored_virtual(
+        &session,
+        kvstore::update_package(FaultPlan::none()),
+        Duration::from_millis(100),
+    )
+    .unwrap();
     // Bypass mode: promote retires the old version immediately (the
     // configuration the paper's §6.1 update-time comparison uses).
     session.promote().unwrap();
