@@ -46,8 +46,7 @@ fn bench_request(c: &mut Criterion) {
         let stop = Arc::new(AtomicBool::new(false));
         let app = Box::new(servers::kvstore::KvV1::new(4100));
         let handle = serve(kernel.clone(), app, native, stop.clone());
-        let mut client =
-            LineClient::connect_retry(kernel, 4100, Duration::from_secs(5)).unwrap();
+        let mut client = LineClient::connect_retry(kernel, 4100, Duration::from_secs(5)).unwrap();
         g.bench_function(label, |b| {
             b.iter(|| {
                 client.send_line("PUT k v").unwrap();

@@ -3,8 +3,6 @@
 //! virtual kernel's data path. These quantify the per-syscall costs
 //! that Table 2's overheads are made of.
 
-
-
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
@@ -81,7 +79,11 @@ fn bench_dsl(c: &mut Criterion) {
     );
     let miss = Event::new(
         "read",
-        vec![Value::Int(9), Value::Str("GET balance".into()), Value::Int(11)],
+        vec![
+            Value::Int(9),
+            Value::Str("GET balance".into()),
+            Value::Int(11),
+        ],
     );
     g.bench_function("apply_hit", |b| {
         b.iter(|| rules.apply(std::slice::from_ref(&hit), &builtins).unwrap())
@@ -91,10 +93,8 @@ fn bench_dsl(c: &mut Criterion) {
     });
     g.bench_function("parse_ruleset", |b| {
         b.iter(|| {
-            RuleSet::parse(
-                r#"rule r { on read(fd, s, n) when len(s) > 3 => read(fd, s, n) }"#,
-            )
-            .unwrap()
+            RuleSet::parse(r#"rule r { on read(fd, s, n) when len(s) > 3 => read(fd, s, n) }"#)
+                .unwrap()
         })
     });
     g.finish();

@@ -25,7 +25,10 @@ use vos::{SysRet, Syscall};
 
 fn ring_capacity_sweep() {
     println!("## ring capacity vs producer stalls (100k records, slow consumer)");
-    println!("{:<12} {:>10} {:>14} {:>12}", "capacity", "stalls", "stall ms", "elapsed ms");
+    println!(
+        "{:<12} {:>10} {:>14} {:>12}",
+        "capacity", "stalls", "stall ms", "elapsed ms"
+    );
     for cap_pow in [4u32, 6, 8, 10, 12, 14] {
         let cap = 1usize << cap_pow;
         let ring: Arc<ring::Ring<EventRecord>> = Arc::new(ring::Ring::with_capacity(cap));
@@ -74,7 +77,9 @@ fn parallel_xform_sweep(entries: usize) {
     println!("{:<10} {:>12} {:>10}", "threads", "xform ms", "speedup");
     let mut state = RedisState::new(1);
     for i in 0..entries {
-        state.store.set(&format!("key:{i}"), "value-value-value-value");
+        state
+            .store
+            .set(&format!("key:{i}"), "value-value-value-value");
     }
     let mut base_ms = 0.0;
     for threads in [1usize, 2, 4, 8] {
@@ -134,7 +139,10 @@ fn rule_count_sweep() {
 
 fn snapshot_cost_sweep() {
     println!("\n## fork (snapshot) cost: persistent map vs deep clone");
-    println!("{:<12} {:>16} {:>16}", "entries", "pmap clone us", "deep clone us");
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "entries", "pmap clone us", "deep clone us"
+    );
     for entries in [10_000usize, 100_000, 400_000] {
         let mut cow = pmap::PMap::new();
         let mut deep: HashMap<String, String> = HashMap::new();

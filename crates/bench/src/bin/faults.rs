@@ -33,7 +33,10 @@ fn new_code() {
     .expect("launch");
     let mut c =
         LineClient::connect_retry(session.kernel(), 6379, Duration::from_secs(5)).expect("client");
-    println!("  SET txt hello           -> {}", ask(&mut c, "SET txt hello"));
+    println!(
+        "  SET txt hello           -> {}",
+        ask(&mut c, "SET txt hello")
+    );
     session
         .update_monitored(
             redis::update_package(&dsu::v("2.0.0"), &dsu::v("2.0.1")),
@@ -67,11 +70,14 @@ fn xform() {
         MvedsuaConfig::default(),
     )
     .expect("launch");
-    let mut c = LineClient::connect_retry(session.kernel(), 11211, Duration::from_secs(5))
-        .expect("client");
+    let mut c =
+        LineClient::connect_retry(session.kernel(), 11211, Duration::from_secs(5)).expect("client");
     c.send_line("set k 0 0 5").expect("send");
     c.send_line("hello").expect("send");
-    println!("  seed store              -> {}", c.recv_line().expect("recv"));
+    println!(
+        "  seed store              -> {}",
+        c.recv_line().expect("recv")
+    );
 
     let plan = FaultPlan::with_xform(XformFault::PoisonLater { after_steps: 10 });
     match session.update_monitored(
@@ -113,12 +119,8 @@ fn timing() {
     .expect("launch");
     let mut clients: Vec<LineClient> = (0..2)
         .map(|_| {
-            let mut c = LineClient::connect_retry(
-                session.kernel(),
-                11212,
-                Duration::from_secs(5),
-            )
-            .expect("client");
+            let mut c = LineClient::connect_retry(session.kernel(), 11212, Duration::from_secs(5))
+                .expect("client");
             c.timeout = Duration::from_millis(300);
             c
         })

@@ -67,7 +67,11 @@ fn series_for(server: Server, opts: &BenchOpts) {
         driver.join().expect("driver")
     });
 
-    println!("\n# {} — ops/s per {}-ms bucket", server.name(), report.bucket_ms);
+    println!(
+        "\n# {} — ops/s per {}-ms bucket",
+        server.name(),
+        report.bucket_ms
+    );
     println!(
         "# update at {:.1}s, promote at {:.1}s, retire at {:.1}s",
         t_update.as_secs_f64(),

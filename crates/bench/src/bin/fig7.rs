@@ -81,7 +81,8 @@ fn measure_kitsune(secs: f64, entries: usize) -> (WorkloadReport, Option<u64>) {
         std::thread::spawn(move || workload(kernel, secs, entries))
     };
     std::thread::sleep(Duration::from_secs_f64(secs / 3.0));
-    ctl.request_update(UpdateRequest::new("2.0.1")).expect("queue");
+    ctl.request_update(UpdateRequest::new("2.0.1"))
+        .expect("queue");
     let report = driver.join().expect("driver");
     ctl.request_stop();
     let _ = server.join();
@@ -198,10 +199,8 @@ fn measure_restart(secs: f64, entries: usize) -> (WorkloadReport, Duration) {
     let gap_begin = std::time::Instant::now();
     stop_v1.store(true, Ordering::Relaxed);
     let old_app = v1.join().expect("old server");
-    let old_state: servers::redis::RedisState = old_app
-        .into_state()
-        .downcast()
-        .expect("redis state");
+    let old_state: servers::redis::RedisState =
+        old_app.into_state().downcast().expect("redis state");
     // Close the listener (so the port can be re-bound) and every client
     // connection — the disruption rolling upgrades dodge by having other
     // replicas, which a stateful single node lacks.

@@ -47,7 +47,12 @@ fn main() {
                 overhead_pct(native[i], tput)
             };
             cells.push((tput, ovh));
-            eprintln!("  {:<10} {:<13} {}", mode.name(), server.name(), report.summary());
+            eprintln!(
+                "  {:<10} {:<13} {}",
+                mode.name(),
+                server.name(),
+                report.summary()
+            );
         }
         if mode == Mode::Native {
             native = cells.iter().map(|(t, _)| *t).collect();

@@ -430,12 +430,7 @@ mod tests {
         };
         for mode in Mode::ALL {
             let report = run_cell(Server::Redis, mode, &opts);
-            assert!(
-                report.ops > 10,
-                "{}: {}",
-                mode.name(),
-                report.summary()
-            );
+            assert!(report.ops > 10, "{}: {}", mode.name(), report.summary());
         }
     }
 }

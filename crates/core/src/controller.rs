@@ -191,11 +191,9 @@ impl Mvedsua {
             let from = self.active_version();
             self.shared.registry.update_spec(&from, &package.to)?;
         }
-        self.shared
-            .timeline
-            .record(TimelineEvent::UpdateRequested {
-                to: package.to.clone(),
-            });
+        self.shared.timeline.record(TimelineEvent::UpdateRequested {
+            to: package.to.clone(),
+        });
         let mut slot = self.shared.fork_slot.lock();
         if slot.is_some() {
             return Err(MvedsuaError::Dsu(dsu::UpdateError::UpdateInProgress));
@@ -279,12 +277,15 @@ impl Mvedsua {
                 stage: stage.to_string(),
             });
         }
-        let action = self.shared.promote_action.lock().take().ok_or(
-            MvedsuaError::WrongStage {
+        let action = self
+            .shared
+            .promote_action
+            .lock()
+            .take()
+            .ok_or(MvedsuaError::WrongStage {
                 operation: "promote",
                 stage: stage.to_string(),
-            },
-        )?;
+            })?;
         self.shared.timeline.record(TimelineEvent::PromoteRequested);
         *action.slot.lock() = Some(action.config);
         Ok(())
@@ -467,8 +468,9 @@ fn monitor_notices(shared: Arc<Shared>, rx: Receiver<Notice>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsu::{AppState, DsuApp, IdentityTransformer, StepOutcome, UpdateError, UpdateSpec,
-              VersionEntry};
+    use dsu::{
+        AppState, DsuApp, IdentityTransformer, StepOutcome, UpdateError, UpdateSpec, VersionEntry,
+    };
     use std::sync::Arc;
     use vos::Os;
 
@@ -521,7 +523,9 @@ mod tests {
             |state| {
                 Ok(Box::new(Ticker {
                     version: dsu::v("1.0"),
-                    ticks: state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                    ticks: state
+                        .downcast()
+                        .map_err(|_| UpdateError::StateTypeMismatch)?,
                     crash_at: None,
                 }))
             },
@@ -538,7 +542,9 @@ mod tests {
             move |state| {
                 Ok(Box::new(Ticker {
                     version: dsu::v("2.0"),
-                    ticks: state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                    ticks: state
+                        .downcast()
+                        .map_err(|_| UpdateError::StateTypeMismatch)?,
                     crash_at: crash_v2_at,
                 }))
             },
@@ -560,7 +566,10 @@ mod tests {
         assert_eq!(session.active_version(), dsu::v("1.0"));
 
         session
-            .update_monitored(UpdatePackage::new(dsu::v("2.0")), Duration::from_millis(100))
+            .update_monitored(
+                UpdatePackage::new(dsu::v("2.0")),
+                Duration::from_millis(100),
+            )
             .unwrap();
         assert_eq!(session.stage(), Stage::OutdatedLeader);
         assert_eq!(session.active_version(), dsu::v("1.0"), "old version leads");
@@ -650,11 +659,11 @@ mod tests {
             MvedsuaConfig::default(),
         )
         .unwrap();
-        let package = UpdatePackage::new(dsu::v("2.0")).with_transformer(Arc::new(
-            dsu::FnTransformer::new("always fails", |_| {
-                Err(UpdateError::XformFailed("injected xform bug".into()))
-            }),
-        ));
+        let package =
+            UpdatePackage::new(dsu::v("2.0"))
+                .with_transformer(Arc::new(dsu::FnTransformer::new("always fails", |_| {
+                    Err(UpdateError::XformFailed("injected xform bug".into()))
+                })));
         let err = session
             .update_monitored(package, Duration::from_secs(5))
             .unwrap_err();

@@ -9,7 +9,10 @@ use dsu::UpdateError;
 pub enum MvedsuaError {
     /// The operation is not valid in the current stage (e.g. requesting
     /// an update while one is already being monitored).
-    WrongStage { operation: &'static str, stage: String },
+    WrongStage {
+        operation: &'static str,
+        stage: String,
+    },
     /// The update's DSL rules did not parse.
     BadRules(String),
     /// A DSU-level failure (unknown version, no update path, ...).

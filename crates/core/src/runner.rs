@@ -307,7 +307,14 @@ fn maybe_fork(shared: &Arc<Shared>, app: &mut Box<dyn DsuApp>, os: &mut VariantO
     let handle = std::thread::Builder::new()
         .name(format!("mvedsua-follower-{follower_id}"))
         .spawn(move || {
-            follower_boot(shared2, package, from_version, snapshot, follower_os, ring_a)
+            follower_boot(
+                shared2,
+                package,
+                from_version,
+                snapshot,
+                follower_os,
+                ring_a,
+            )
         })
         .expect("spawn follower thread");
     shared.threads.lock().push(handle);

@@ -31,7 +31,7 @@ fn figure_2_allows(from: Stage, to: Stage) -> bool {
             | (Stage::OutdatedLeader, Stage::SingleLeader)    // rollback
             | (Stage::Switching, Stage::UpdatedLeader)        // t5: promote
             | (Stage::Switching, Stage::SingleLeader)         // rollback
-            | (Stage::UpdatedLeader, Stage::SingleLeader)     // t6 / rollback
+            | (Stage::UpdatedLeader, Stage::SingleLeader) // t6 / rollback
     )
 }
 

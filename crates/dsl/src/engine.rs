@@ -322,7 +322,11 @@ mod tests {
         let b = Builtins::standard();
         let read = ev(
             "read",
-            vec![Value::Int(7), Value::Str("STOU f.txt\r\n".into()), Value::Int(12)],
+            vec![
+                Value::Int(7),
+                Value::Str("STOU f.txt\r\n".into()),
+                Value::Int(12),
+            ],
         );
         let write = ev(
             "write",
@@ -388,7 +392,10 @@ mod tests {
         )
         .unwrap();
         let read = ev("read", vec![Value::Int(1), Value::Str("x".into())]);
-        assert!(rules.could_extend(std::slice::from_ref(&read)), "pair could complete");
+        assert!(
+            rules.could_extend(std::slice::from_ref(&read)),
+            "pair could complete"
+        );
         let other = ev("close", vec![Value::Int(1)]);
         assert!(!rules.could_extend(&[other]), "no rule starts with close");
         let write = ev(
@@ -494,7 +501,9 @@ mod tests {
         assert_eq!(rules.len(), 0);
         assert_eq!(rules.max_window(), 1);
         let e = ev("f", vec![Value::Int(9)]);
-        let out = rules.apply(std::slice::from_ref(&e), &Builtins::standard()).unwrap();
+        let out = rules
+            .apply(std::slice::from_ref(&e), &Builtins::standard())
+            .unwrap();
         assert_eq!(out.emitted, vec![e]);
     }
 
@@ -502,7 +511,9 @@ mod tests {
     fn error_events_pass_through_identity() {
         let rules = RuleSet::parse("rule r { on g() => h() }").unwrap();
         let e = Event::with_error("read", vec![Value::Int(1)], "timed out");
-        let out = rules.apply(std::slice::from_ref(&e), &Builtins::standard()).unwrap();
+        let out = rules
+            .apply(std::slice::from_ref(&e), &Builtins::standard())
+            .unwrap();
         assert_eq!(out.emitted, vec![e]);
     }
 }

@@ -28,20 +28,27 @@ impl fmt::Debug for Builtins {
 }
 
 fn arg<'a>(args: &'a [Value], i: usize, f: &str) -> Result<&'a Value, String> {
-    args.get(i).ok_or_else(|| format!("{f}: missing argument {i}"))
+    args.get(i)
+        .ok_or_else(|| format!("{f}: missing argument {i}"))
 }
 
 fn str_arg<'a>(args: &'a [Value], i: usize, f: &str) -> Result<&'a str, String> {
     match arg(args, i, f)? {
         Value::Str(s) => Ok(s),
-        other => Err(format!("{f}: argument {i} must be a string, got {}", other.type_name())),
+        other => Err(format!(
+            "{f}: argument {i} must be a string, got {}",
+            other.type_name()
+        )),
     }
 }
 
 fn int_arg(args: &[Value], i: usize, f: &str) -> Result<i64, String> {
     match arg(args, i, f)? {
         Value::Int(n) => Ok(*n),
-        other => Err(format!("{f}: argument {i} must be an int, got {}", other.type_name())),
+        other => Err(format!(
+            "{f}: argument {i} must be an int, got {}",
+            other.type_name()
+        )),
     }
 }
 
@@ -250,9 +257,10 @@ impl Env {
 pub fn eval_expr(expr: &Expr, env: &Env, builtins: &Builtins) -> Result<Value, DslError> {
     match expr {
         Expr::Lit(v) => Ok(v.clone()),
-        Expr::Var(name, line) => env.get(name).cloned().ok_or_else(|| {
-            DslError::at(format!("unknown variable `{name}`"), *line, 0)
-        }),
+        Expr::Var(name, line) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DslError::at(format!("unknown variable `{name}`"), *line, 0)),
         Expr::Unary(op, inner) => {
             let v = eval_expr(inner, env, builtins)?;
             match op {
@@ -262,9 +270,9 @@ pub fn eval_expr(expr: &Expr, env: &Env, builtins: &Builtins) -> Result<Value, D
         }
         Expr::Binary(op, lhs, rhs) => eval_binary(*op, lhs, rhs, env, builtins),
         Expr::Call(name, args, line) => {
-            let f = builtins.get(name).ok_or_else(|| {
-                DslError::at(format!("unknown function `{name}`"), *line, 0)
-            })?;
+            let f = builtins
+                .get(name)
+                .ok_or_else(|| DslError::at(format!("unknown function `{name}`"), *line, 0))?;
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
                 vals.push(eval_expr(a, env, builtins)?);
@@ -412,11 +420,7 @@ fn eval_binary(
 ///
 /// # Errors
 /// Propagates any evaluation or destructuring failure.
-pub fn eval_block(
-    block: &Block,
-    env: &Env,
-    builtins: &Builtins,
-) -> Result<Value, DslError> {
+pub fn eval_block(block: &Block, env: &Env, builtins: &Builtins) -> Result<Value, DslError> {
     let mut scope = env.clone();
     for (lhs, rhs) in &block.lets {
         let v = eval_expr(rhs, &scope, builtins)?;
@@ -443,7 +447,10 @@ mod tests {
     #[test]
     fn arithmetic_and_precedence() {
         let env = Env::new();
-        assert_eq!(eval_guard("1 + 2 * 3 == 7", &env).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_guard("1 + 2 * 3 == 7", &env).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(
             eval_guard("(10 - 4) / 3 == 2", &env).unwrap(),
             Value::Bool(true)
@@ -602,9 +609,10 @@ mod tests {
                     .unwrap_or(Value::Nil),
             ]))
         });
-        let prog =
-            parse_program(r#"rule t { on f() when { let (cmd, _) = parse("GET k"); cmd == "GET" } => nothing }"#)
-                .unwrap();
+        let prog = parse_program(
+            r#"rule t { on f() when { let (cmd, _) = parse("GET k"); cmd == "GET" } => nothing }"#,
+        )
+        .unwrap();
         let v = eval_block(prog.rules[0].guard.as_ref().unwrap(), &Env::new(), &b).unwrap();
         assert_eq!(v, Value::Bool(true));
     }

@@ -60,12 +60,7 @@ fn print_pattern(p: &Pattern) -> String {
 }
 
 fn print_template(t: &Template) -> String {
-    let args = t
-        .args
-        .iter()
-        .map(print_expr)
-        .collect::<Vec<_>>()
-        .join(", ");
+    let args = t.args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
     format!("{}({args})", t.event)
 }
 
@@ -191,7 +186,11 @@ mod tests {
         let printed = print_program(&parsed);
         let reparsed = parse_program(&printed)
             .unwrap_or_else(|e| panic!("printed output failed to parse: {e}\n{printed}"));
-        assert_eq!(strip_positions(parsed), strip_positions(reparsed), "{printed}");
+        assert_eq!(
+            strip_positions(parsed),
+            strip_positions(reparsed),
+            "{printed}"
+        );
     }
 
     /// AST equality modulo source positions.
@@ -293,11 +292,7 @@ mod tests {
         let b = Builtins::standard();
         let event = Event::new(
             "read",
-            vec![
-                Value::Int(1),
-                Value::Str("PUT k v".into()),
-                Value::Int(7),
-            ],
+            vec![Value::Int(1), Value::Str("PUT k v".into()), Value::Int(7)],
         );
         assert_eq!(
             original.apply(std::slice::from_ref(&event), &b).unwrap(),

@@ -21,7 +21,10 @@ fn arb_value() -> impl Strategy<Value = Value> {
 }
 
 fn arb_event() -> impl Strategy<Value = Event> {
-    ("[a-z][a-z_]{0,8}", proptest::collection::vec(arb_value(), 0..4))
+    (
+        "[a-z][a-z_]{0,8}",
+        proptest::collection::vec(arb_value(), 0..4),
+    )
         .prop_map(|(name, args)| Event::new(name, args))
 }
 
@@ -94,13 +97,17 @@ proptest! {
 // Generative parse <-> print round-trip over random ASTs.
 // ---------------------------------------------------------------------
 
-use dsl::{parse_program, print_program, Block, Expr, LetLhs, PatArg, Pattern, Program, RuleDef,
-          Template};
+use dsl::{
+    parse_program, print_program, Block, Expr, LetLhs, PatArg, Pattern, Program, RuleDef, Template,
+};
 
 fn arb_ident() -> impl Strategy<Value = String> {
     // Avoid the parser's keywords.
     "[a-eg-mo-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| {
-        !matches!(s.as_str(), "on" | "when" | "let" | "rule" | "nothing" | "true" | "false" | "nil")
+        !matches!(
+            s.as_str(),
+            "on" | "when" | "let" | "rule" | "nothing" | "true" | "false" | "nil"
+        )
     })
 }
 
@@ -136,15 +143,17 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop())
-                .prop_map(|(l, r, op)| Expr::Binary(op, Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| Expr::Binary(
+                op,
+                Box::new(l),
+                Box::new(r)
+            )),
             inner
                 .clone()
                 .prop_map(|e| Expr::Unary(dsl::UnOp::Not, Box::new(e))),
             (arb_ident(), proptest::collection::vec(inner.clone(), 0..3))
                 .prop_map(|(name, args)| Expr::Call(name, args, 0)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i))),
+            (inner.clone(), inner.clone()).prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i))),
             proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Tuple),
             proptest::collection::vec(inner, 0..3).prop_map(Expr::List),
         ]
@@ -154,8 +163,19 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 fn arb_binop() -> impl Strategy<Value = dsl::BinOp> {
     use dsl::BinOp::*;
     prop_oneof![
-        Just(Or), Just(And), Just(Eq), Just(Ne), Just(Lt), Just(Le),
-        Just(Gt), Just(Ge), Just(Add), Just(Sub), Just(Mul), Just(Div), Just(Rem),
+        Just(Or),
+        Just(And),
+        Just(Eq),
+        Just(Ne),
+        Just(Lt),
+        Just(Le),
+        Just(Gt),
+        Just(Ge),
+        Just(Add),
+        Just(Sub),
+        Just(Mul),
+        Just(Div),
+        Just(Rem),
     ]
 }
 
@@ -172,7 +192,11 @@ fn arb_pattern() -> impl Strategy<Value = Pattern> {
             0..4,
         ),
     )
-        .prop_map(|(event, args)| Pattern { event, args, line: 0 })
+        .prop_map(|(event, args)| Pattern {
+            event,
+            args,
+            line: 0,
+        })
 }
 
 fn arb_rule() -> impl Strategy<Value = RuleDef> {
@@ -208,7 +232,11 @@ fn arb_rule() -> impl Strategy<Value = RuleDef> {
             guard: guard.map(|(lets, value)| Block { lets, value }),
             templates: templates
                 .into_iter()
-                .map(|(event, args)| Template { event, args, line: 0 })
+                .map(|(event, args)| Template {
+                    event,
+                    args,
+                    line: 0,
+                })
                 .collect(),
             line: 0,
         })

@@ -244,7 +244,9 @@ mod tests {
                 move |state| {
                     Ok(Box::new(Stepper {
                         version: vv2.clone(),
-                        count: state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                        count: state
+                            .downcast()
+                            .map_err(|_| UpdateError::StateTypeMismatch)?,
                         limit: 1_000_000,
                         quiesce_on_even_only: false,
                         crash_at: None,

@@ -103,11 +103,7 @@ impl VersionRegistry {
     /// Registers a version's constructors. Re-registering a version
     /// replaces the previous entry.
     pub fn register_version(&mut self, entry: VersionEntry) {
-        if let Some(existing) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.version == entry.version)
-        {
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.version == entry.version) {
             *existing = entry;
         } else {
             self.entries.push(entry);
@@ -237,7 +233,9 @@ mod tests {
             |state| {
                 Ok(Box::new(VNum {
                     version: v("1.0"),
-                    value: state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                    value: state
+                        .downcast()
+                        .map_err(|_| UpdateError::StateTypeMismatch)?,
                 }))
             },
         ));
@@ -252,7 +250,9 @@ mod tests {
             |state| {
                 Ok(Box::new(VNum {
                     version: v("2.0"),
-                    value: state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                    value: state
+                        .downcast()
+                        .map_err(|_| UpdateError::StateTypeMismatch)?,
                 }))
             },
         ));

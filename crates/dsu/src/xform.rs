@@ -90,13 +90,10 @@ mod tests {
     fn fn_transformer_migrates_representation() {
         // v1 state: Vec<(String, String)>; v2 adds a type tag.
         let t = FnTransformer::new("add type tags", |old| {
-            let v1: Vec<(String, String)> = old
-                .downcast()
-                .map_err(|_| UpdateError::StateTypeMismatch)?;
-            let v2: Vec<(String, String, &'static str)> = v1
-                .into_iter()
-                .map(|(k, v)| (k, v, "string"))
-                .collect();
+            let v1: Vec<(String, String)> =
+                old.downcast().map_err(|_| UpdateError::StateTypeMismatch)?;
+            let v2: Vec<(String, String, &'static str)> =
+                v1.into_iter().map(|(k, v)| (k, v, "string")).collect();
             Ok(AppState::new(v2))
         });
         assert_eq!(t.describe(), "add type tags");

@@ -164,12 +164,7 @@ impl<T: Clone> EventLoop<T> {
     ///
     /// # Errors
     /// Propagates `epoll_wait` failures.
-    pub fn poll(
-        &mut self,
-        os: &mut dyn Os,
-        max: usize,
-        timeout_ms: u64,
-    ) -> OsResult<Vec<(Fd, T)>> {
+    pub fn poll(&mut self, os: &mut dyn Os, max: usize, timeout_ms: u64) -> OsResult<Vec<(Fd, T)>> {
         let ep = self.ensure_epoll(os)?;
         let ready = os.epoll_wait(ep, max, timeout_ms)?;
         if ready.is_empty() || self.entries.is_empty() {
@@ -254,7 +249,8 @@ mod tests {
     fn register_poll_dispatch() {
         let mut rig = rig();
         let mut ev = EventLoop::new();
-        ev.register(&mut rig.os, rig.listener, Tok::Listener).unwrap();
+        ev.register(&mut rig.os, rig.listener, Tok::Listener)
+            .unwrap();
         let (c1, s1) = connect(&mut rig);
         // The pending accept made the listener ready before registration
         // of the conn; now register the conn and write to it.
@@ -268,7 +264,8 @@ mod tests {
     fn double_register_rejected() {
         let mut rig = rig();
         let mut ev = EventLoop::new();
-        ev.register(&mut rig.os, rig.listener, Tok::Listener).unwrap();
+        ev.register(&mut rig.os, rig.listener, Tok::Listener)
+            .unwrap();
         assert_eq!(
             ev.register(&mut rig.os, rig.listener, Tok::Listener)
                 .unwrap_err(),
@@ -295,7 +292,8 @@ mod tests {
     fn poll_times_out_empty() {
         let mut rig = rig();
         let mut ev = EventLoop::new();
-        ev.register(&mut rig.os, rig.listener, Tok::Listener).unwrap();
+        ev.register(&mut rig.os, rig.listener, Tok::Listener)
+            .unwrap();
         let ready = ev.poll(&mut rig.os, 8, 10).unwrap();
         assert!(ready.is_empty());
     }

@@ -14,8 +14,8 @@ use std::process::ExitCode;
 
 use harness::engine::{run_plan, RunOptions};
 use harness::plan::ScenarioPlan;
-use harness::trace::{failure_report, minimize};
 use harness::scenarios;
+use harness::trace::{failure_report, minimize};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -98,10 +98,7 @@ fn main() -> ExitCode {
                 failures += 1;
             }
         }
-        println!(
-            "swept {} seeds from {}: {} failed",
-            count, base, failures
-        );
+        println!("swept {} seeds from {}: {} failed", count, base, failures);
     }
 
     if failures == 0 {

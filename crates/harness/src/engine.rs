@@ -263,10 +263,11 @@ impl<'a> Run<'a> {
                 // The update may already have died (clean transformer
                 // failures, early poison) — or the fault is still latent
                 // and needs a probing read to trigger the divergence.
-                if result.is_ok() && fault_needs_probe(&update.fault) {
-                    if !self.send_probe(&update.fault) {
-                        return false;
-                    }
+                if result.is_ok()
+                    && fault_needs_probe(&update.fault)
+                    && !self.send_probe(&update.fault)
+                {
+                    return false;
                 }
                 let rolled_back = self
                     .session()
@@ -388,7 +389,9 @@ impl<'a> Run<'a> {
     /// paper's operators did (§6.2 retried until the fork landed).
     fn monitored_with_retry(&mut self, update: &UpdateStep) -> Result<(), MvedsuaError> {
         for _ in 0..400 {
-            match self.session().update_monitored(build_package(self.plan.backend, update), WARMUP)
+            match self
+                .session()
+                .update_monitored(build_package(self.plan.backend, update), WARMUP)
             {
                 Err(MvedsuaError::UpdateDidNotStart) => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -492,10 +495,7 @@ impl<'a> Run<'a> {
                 let blob = c
                     .recv_until(b"226 Transfer complete.\r\n")
                     .map_err(|e| format!("ftp retr: {e:?}"))?;
-                if blob
-                    .windows(MOTD.len())
-                    .any(|w| w == MOTD)
-                {
+                if blob.windows(MOTD.len()).any(|w| w == MOTD) {
                     Ok(CanonReply::RetrOk)
                 } else {
                     Err(format!(
@@ -516,9 +516,8 @@ impl<'a> Run<'a> {
         for entry in &report.entries {
             if let TimelineEvent::StageChanged { stage: next } = entry.event {
                 if !stage.can_transition_to(next) {
-                    self.violations.push(format!(
-                        "illegal stage transition {stage} -> {next}"
-                    ));
+                    self.violations
+                        .push(format!("illegal stage transition {stage} -> {next}"));
                 }
                 stage = next;
             }

@@ -69,9 +69,7 @@ impl Model {
                 CanonReply::Stored
             }
             ClientOp::Get { key } => match self.map.get(key) {
-                Some(v) if self.planted_bug => {
-                    CanonReply::Hit(v.chars().rev().collect::<String>())
-                }
+                Some(v) if self.planted_bug => CanonReply::Hit(v.chars().rev().collect::<String>()),
                 Some(v) => CanonReply::Hit(v.clone()),
                 None => CanonReply::Miss,
             },

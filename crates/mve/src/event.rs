@@ -49,7 +49,9 @@ mod tests {
         let s = EventRecord::Syscall {
             seq: 7,
             record: SyscallRecord {
-                call: Syscall::Close { fd: Fd::from_raw(3) },
+                call: Syscall::Close {
+                    fd: Fd::from_raw(3),
+                },
                 ret: SysRet::Unit,
             },
         };

@@ -44,7 +44,15 @@ pub struct LagPlan {
 impl LagPlan {
     /// Whether the `count`-th consumed record (1-based) should lag.
     pub fn applies_at(&self, count: u64) -> bool {
-        self.every > 0 && self.nanos > 0 && count % self.every == 0
+        self.every > 0 && self.nanos > 0 && count.is_multiple_of(self.every)
+    }
+
+    /// Sleeps the scheduled lag for the `count`-th consumed record
+    /// (1-based), if any.
+    pub fn maybe_sleep(&self, count: u64) {
+        if self.applies_at(count) {
+            std::thread::sleep(std::time::Duration::from_nanos(self.nanos));
+        }
     }
 }
 

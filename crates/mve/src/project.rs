@@ -242,8 +242,7 @@ pub fn request_matches(expected: &Event, attempted: &Syscall) -> bool {
         Syscall::Accept { listener } => fd_eq(&a[0], *listener),
         Syscall::Read { fd, .. } | Syscall::ReadTimeout { fd, .. } => fd_eq(&a[0], *fd),
         Syscall::Write { fd, data } => {
-            fd_eq(&a[0], *fd)
-                && str_of(&a[1]).map(str_to_bytes) == Some(Ok(data.clone()))
+            fd_eq(&a[0], *fd) && str_of(&a[1]).map(str_to_bytes) == Some(Ok(data.clone()))
         }
         Syscall::Close { fd } => fd_eq(&a[0], *fd),
         Syscall::EpollCreate => true,
@@ -258,9 +257,7 @@ pub fn request_matches(expected: &Event, attempted: &Syscall) -> bool {
             str_of(&a[0]) == Some(path)
         }
         Syscall::FsMkdir { path } => str_of(&a[0]) == Some(path),
-        Syscall::FsRename { from, to } => {
-            str_of(&a[0]) == Some(from) && str_of(&a[1]) == Some(to)
-        }
+        Syscall::FsRename { from, to } => str_of(&a[0]) == Some(from) && str_of(&a[1]) == Some(to),
         Syscall::Now | Syscall::Pid => true,
     }
 }
@@ -283,9 +280,9 @@ pub fn reconstruct_result(expected: &Event, attempted: &Syscall) -> Result<SysRe
         Syscall::Listen { .. } | Syscall::Accept { .. } => SysRet::Fd(Fd::from_raw(
             int_of(&a[1]).ok_or_else(|| bad("fd result"))? as u64,
         )),
-        Syscall::Read { .. } | Syscall::ReadTimeout { .. } => {
-            SysRet::Data(str_to_bytes(str_of(&a[1]).ok_or_else(|| bad("read data"))?)?)
-        }
+        Syscall::Read { .. } | Syscall::ReadTimeout { .. } => SysRet::Data(str_to_bytes(
+            str_of(&a[1]).ok_or_else(|| bad("read data"))?,
+        )?),
         Syscall::Write { .. } => {
             SysRet::Size(int_of(&a[2]).ok_or_else(|| bad("write size"))?.max(0) as usize)
         }

@@ -75,7 +75,12 @@ mod tests {
             &SysRet::Fd(Fd::from_raw(9)),
         );
         assert_eq!(s.live_fd_count(), 1);
-        s.track(&Syscall::Close { fd: Fd::from_raw(9) }, &SysRet::Unit);
+        s.track(
+            &Syscall::Close {
+                fd: Fd::from_raw(9),
+            },
+            &SysRet::Unit,
+        );
         assert_eq!(s.live_fd_count(), 0);
         assert_eq!(s.intercepted_count(), 2);
     }
@@ -106,7 +111,9 @@ mod tests {
         let s = SyscallStats::new();
         s.track(&Syscall::Listen { port: 1 }, &SysRet::Fd(Fd::from_raw(3)));
         s.track(
-            &Syscall::Close { fd: Fd::from_raw(3) },
+            &Syscall::Close {
+                fd: Fd::from_raw(3),
+            },
             &SysRet::Err(vos::Errno::BadFd),
         );
         assert_eq!(s.live_fd_count(), 1);

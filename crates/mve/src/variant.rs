@@ -22,6 +22,13 @@ pub type VariantId = u32;
 /// multi-event rule's prefix matches (Figure 5-style rules).
 const WINDOW_EXTEND_TIMEOUT: Duration = Duration::from_millis(200);
 
+/// How many records a follower drains from the ring per refill on the
+/// identity fast path (no rewrite rules, no lag perturbation). Batching
+/// is only safe there: with rules active, window boundaries must match
+/// record-at-a-time consumption, and with a lag plan the per-record
+/// stall schedule must be preserved.
+const FOLLOWER_BATCH: usize = 32;
+
 /// Leader-side configuration: the outgoing ring and the synchronization
 /// discipline.
 #[derive(Clone)]
@@ -87,8 +94,12 @@ struct FollowerState {
     ring: EventRing,
     rules: Arc<RuleSet>,
     builtins: Arc<Builtins>,
-    expected: VecDeque<Event>,
-    last_seq: u64,
+    /// Expected events with the leader seq each one is attributed to
+    /// (the last record of the rule window that emitted it), so
+    /// divergence reports stay identical whatever the refill batch size.
+    expected: VecDeque<(u64, Event)>,
+    /// A `Demote` marker was consumed; promote once `expected` drains.
+    promote_pending: bool,
     promote_to: Option<LeaderConfig>,
     lag: Option<LagPlan>,
     /// Records consumed so far (1-based), for the lag schedule.
@@ -123,7 +134,11 @@ pub struct VariantOs {
 impl VariantOs {
     /// A variant starting in single-leader mode (how every MVEDSUA
     /// deployment begins, t0 in Figure 2).
-    pub fn single(id: VariantId, kernel: Arc<VirtualKernel>, notices: Option<Sender<Notice>>) -> Self {
+    pub fn single(
+        id: VariantId,
+        kernel: Arc<VirtualKernel>,
+        notices: Option<Sender<Notice>>,
+    ) -> Self {
         let pid = kernel.alloc_pid();
         VariantOs {
             id,
@@ -154,7 +169,7 @@ impl VariantOs {
                 rules: config.rules,
                 builtins: config.builtins,
                 expected: VecDeque::new(),
-                last_seq: 0,
+                promote_pending: false,
                 promote_to: config.promote_to,
                 lag: config.lag,
                 consumed: 0,
@@ -228,7 +243,7 @@ impl VariantOs {
             rules: config.rules,
             builtins: config.builtins,
             expected: VecDeque::new(),
-            last_seq: 0,
+            promote_pending: false,
             promote_to: config.promote_to,
             lag: config.lag,
             consumed: 0,
@@ -295,35 +310,35 @@ fn execute_call(k: &Arc<VirtualKernel>, pid: u32, call: &Syscall) -> SysRet {
         }
     }
     match call {
-            Syscall::Listen { port } => wrap(k.listen(*port), SysRet::Fd),
-            Syscall::Accept { listener } => wrap(k.accept(*listener), SysRet::Fd),
-            Syscall::Read { fd, max } => wrap(k.read(*fd, *max, None), SysRet::Data),
-            Syscall::ReadTimeout {
-                fd,
-                max,
-                timeout_ms,
-            } => wrap(
-                k.read(*fd, *max, Some(Duration::from_millis(*timeout_ms))),
-                SysRet::Data,
-            ),
-            Syscall::Write { fd, data } => wrap(k.write(*fd, data), SysRet::Size),
-            Syscall::Close { fd } => wrap(k.close(*fd), |_| SysRet::Unit),
-            Syscall::EpollCreate => wrap(k.epoll_create(), SysRet::Fd),
-            Syscall::EpollCtl { ep, op, fd } => wrap(k.epoll_ctl(*ep, *op, *fd), |_| SysRet::Unit),
-            Syscall::EpollWait {
-                ep,
-                max,
-                timeout_ms,
-            } => wrap(
-                k.epoll_wait(*ep, *max, Duration::from_millis(*timeout_ms)),
-                SysRet::Fds,
-            ),
-            Syscall::FsOpen { path, mode } => wrap(k.fs_open(path, *mode), SysRet::Fd),
-            Syscall::FsUnlink { path } => wrap(k.fs_unlink(path), |_| SysRet::Unit),
-            Syscall::FsStat { path } => wrap(k.fs_stat(path), SysRet::Stat),
-            Syscall::FsList { path } => wrap(k.fs_list(path), SysRet::Names),
-            Syscall::FsMkdir { path } => wrap(k.fs_mkdir(path), |_| SysRet::Unit),
-            Syscall::FsRename { from, to } => wrap(k.fs_rename(from, to), |_| SysRet::Unit),
+        Syscall::Listen { port } => wrap(k.listen(*port), SysRet::Fd),
+        Syscall::Accept { listener } => wrap(k.accept(*listener), SysRet::Fd),
+        Syscall::Read { fd, max } => wrap(k.read(*fd, *max, None), SysRet::Data),
+        Syscall::ReadTimeout {
+            fd,
+            max,
+            timeout_ms,
+        } => wrap(
+            k.read(*fd, *max, Some(Duration::from_millis(*timeout_ms))),
+            SysRet::Data,
+        ),
+        Syscall::Write { fd, data } => wrap(k.write(*fd, data), SysRet::Size),
+        Syscall::Close { fd } => wrap(k.close(*fd), |_| SysRet::Unit),
+        Syscall::EpollCreate => wrap(k.epoll_create(), SysRet::Fd),
+        Syscall::EpollCtl { ep, op, fd } => wrap(k.epoll_ctl(*ep, *op, *fd), |_| SysRet::Unit),
+        Syscall::EpollWait {
+            ep,
+            max,
+            timeout_ms,
+        } => wrap(
+            k.epoll_wait(*ep, *max, Duration::from_millis(*timeout_ms)),
+            SysRet::Fds,
+        ),
+        Syscall::FsOpen { path, mode } => wrap(k.fs_open(path, *mode), SysRet::Fd),
+        Syscall::FsUnlink { path } => wrap(k.fs_unlink(path), |_| SysRet::Unit),
+        Syscall::FsStat { path } => wrap(k.fs_stat(path), SysRet::Stat),
+        Syscall::FsList { path } => wrap(k.fs_list(path), SysRet::Names),
+        Syscall::FsMkdir { path } => wrap(k.fs_mkdir(path), |_| SysRet::Unit),
+        Syscall::FsRename { from, to } => wrap(k.fs_rename(from, to), |_| SysRet::Unit),
         Syscall::Now => SysRet::Time(k.now_nanos()),
         Syscall::Pid => SysRet::Pid(pid),
     }
@@ -421,45 +436,76 @@ impl VariantOs {
 
     /// Replays one follower syscall against the expected-event queue,
     /// refilling it from the ring through the rule engine as needed.
-    fn follower_step(
-        _id: VariantId,
-        state: &mut FollowerState,
-        call: &Syscall,
-    ) -> FollowerVerdict {
+    fn follower_step(_id: VariantId, state: &mut FollowerState, call: &Syscall) -> FollowerVerdict {
         loop {
-            if let Some(front) = state.expected.front() {
+            if let Some((seq, front)) = state.expected.front() {
+                let seq = *seq;
                 if !request_matches(front, call) {
                     RetiredSignal::raise(RetireReason::Diverged(Divergence {
-                        seq: state.last_seq,
+                        seq,
                         expected: Some(front.clone()),
                         attempted: call.to_string(),
                         detail: String::new(),
                     }));
                 }
-                let event = state.expected.pop_front().expect("checked front");
+                let (seq, event) = state.expected.pop_front().expect("checked front");
                 match reconstruct_result(&event, call) {
                     Ok(ret) => return FollowerVerdict::Ret(ret),
                     Err(detail) => RetiredSignal::raise(RetireReason::Diverged(Divergence {
-                        seq: state.last_seq,
+                        seq,
                         expected: Some(event),
                         attempted: call.to_string(),
                         detail,
                     })),
                 }
             }
+            if state.promote_pending {
+                return FollowerVerdict::Promote;
+            }
             // Refill the expected queue from the leader's stream.
             state.consumed += 1;
             if let Some(lag) = state.lag {
-                if lag.applies_at(state.consumed) {
-                    std::thread::sleep(Duration::from_nanos(lag.nanos));
+                lag.maybe_sleep(state.consumed);
+            }
+            // Identity fast path: with no rewrite rules every record
+            // maps 1:1 to an expected event, so drain a whole published
+            // run per synchronization round. Gated off under a lag plan
+            // so the chaos stall schedule keeps its per-record cadence.
+            if state.rules.is_empty() && state.lag.is_none() {
+                let batch = match state.ring.pop_batch(FOLLOWER_BATCH, None) {
+                    Ok(batch) => batch,
+                    Err(RingError::Closed) => return FollowerVerdict::Single,
+                    Err(RingError::Poisoned) => RetiredSignal::raise(RetireReason::Terminated),
+                    Err(RingError::TimedOut) => unreachable!("untimed pop"),
+                };
+                for record in batch {
+                    match record {
+                        EventRecord::Control {
+                            record: ControlRecord::Demote,
+                            ..
+                        } => {
+                            // The demoting leader's final record on
+                            // this ring; promote once the queued
+                            // prefix is replayed.
+                            state.promote_pending = true;
+                        }
+                        EventRecord::Syscall { seq, record } => {
+                            debug_assert!(
+                                !state.promote_pending,
+                                "leader pushed records after Demote"
+                            );
+                            state
+                                .expected
+                                .push_back((seq, syscall_event(&record.call, &record.ret)));
+                        }
+                    }
                 }
+                continue;
             }
             let first = match state.ring.pop(None) {
                 Ok(record) => record,
                 Err(RingError::Closed) => return FollowerVerdict::Single,
-                Err(RingError::Poisoned) => {
-                    RetiredSignal::raise(RetireReason::Terminated)
-                }
+                Err(RingError::Poisoned) => RetiredSignal::raise(RetireReason::Terminated),
                 Err(RingError::TimedOut) => unreachable!("untimed pop"),
             };
             let (seq, record) = match first {
@@ -486,9 +532,7 @@ impl VariantOs {
                         _ => break,
                     },
                     Ok(EventRecord::Control { .. }) => break,
-                    Err(RingError::Poisoned) => {
-                        RetiredSignal::raise(RetireReason::Terminated)
-                    }
+                    Err(RingError::Poisoned) => RetiredSignal::raise(RetireReason::Terminated),
                     Err(_) => break,
                 }
             }
@@ -496,11 +540,17 @@ impl VariantOs {
                 .iter()
                 .map(|r| syscall_event(&r.call, &r.ret))
                 .collect();
+            // Attribute every event the window emits to the window's
+            // last record, matching the reporting of record-at-a-time
+            // consumption.
+            let window_last_seq = seq + window_records.len() as u64 - 1;
             let mut offset = 0;
             while offset < events.len() {
                 match state.rules.apply(&events[offset..], &state.builtins) {
                     Ok(outcome) => {
-                        state.expected.extend(outcome.emitted);
+                        state
+                            .expected
+                            .extend(outcome.emitted.into_iter().map(|ev| (window_last_seq, ev)));
                         offset += outcome.consumed;
                     }
                     Err(e) => RetiredSignal::raise(RetireReason::Diverged(Divergence {
@@ -511,7 +561,6 @@ impl VariantOs {
                     })),
                 }
             }
-            state.last_seq = seq + window_records.len() as u64 - 1;
         }
     }
 }

@@ -35,8 +35,13 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 /// Runs the script against an Os; returns a transcript of results.
-fn run_script(os: &mut dyn Os, port: u16, kernel: &Arc<VirtualKernel>, ops: &[Op],
-              feed_reads: bool) -> Vec<String> {
+fn run_script(
+    os: &mut dyn Os,
+    port: u16,
+    kernel: &Arc<VirtualKernel>,
+    ops: &[Op],
+    feed_reads: bool,
+) -> Vec<String> {
     let mut log = Vec::new();
     let listener = os.listen(port).unwrap();
     let client = if feed_reads {

@@ -120,7 +120,9 @@ fn rules_reconcile_expected_differences() {
     });
     let client = kernel.connect(5002).unwrap();
     let conn = leader.accept(listener).unwrap();
-    kernel.client_send(client, b"PUT-number balance 100").unwrap();
+    kernel
+        .client_send(client, b"PUT-number balance 100")
+        .unwrap();
     let _ = leader.read_timeout(conn, 64, 100).unwrap();
 
     let rules = RuleSet::parse(

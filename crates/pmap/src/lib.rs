@@ -255,8 +255,7 @@ fn insert_rec<K: Hash + Eq + Clone, V: Clone>(
                     let slot = slot_of(hash, depth);
                     if slot == old_slot {
                         // Still colliding at this level: recurse into it.
-                        let replaced =
-                            insert_rec(&mut children[0], hash, depth + 1, key, value);
+                        let replaced = insert_rec(&mut children[0], hash, depth + 1, key, value);
                         debug_assert!(replaced.is_none());
                     } else {
                         let idx = child_index(*bitmap, slot);

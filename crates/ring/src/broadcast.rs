@@ -1,0 +1,1206 @@
+//! The lock-free broadcast ring (the default [`Ring`]).
+//!
+//! Layout and protocol (Varan §2's shared-memory ring, adapted):
+//!
+//! * Records live in a preallocated power-of-two array of slots. Slot
+//!   `p & mask` carries position `p` of the stream.
+//! * Each slot has a **sequence word**: `0` = never written, `p + 1` =
+//!   position `p` is published here, [`WRITING`] = the producer is
+//!   mid-(re)write. Consumers learn about new records from the slot
+//!   word alone — they never touch producer state.
+//! * Each consumer owns a **cursor**: `next` (the position it will
+//!   claim next) and `done` (the prefix it has fully consumed). The
+//!   producer may reuse a slot only once every live cursor's `done` has
+//!   passed it — the slowest follower bounds reclamation, which is what
+//!   lets a freshly forked follower attach mid-stream and trust every
+//!   slot at or after its attach point.
+//! * The producer keeps a cached lower bound of the minimum cursor and
+//!   only rescans the registry when the ring looks full, so the hot
+//!   push path is a capacity check, a claim, a slot write, and a
+//!   publish — no locks, no syscalls, no contention with consumers.
+//!
+//! Blocking (`push` on full, `pop` on empty, `wait_empty`) escalates
+//! spin → yield → park via [`crate::wait`].
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::wait::{Backoff, WaitSet};
+use crate::{RingError, RingStats};
+
+/// Slot-sequence sentinel: the producer is currently (re)writing the
+/// slot. Positions are claim counters and can never reach this value.
+const WRITING: u64 = u64::MAX;
+
+/// Pads hot words to their own cache line so the producer's claim
+/// counter, the cached minimum, and each cursor never false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Slot<T> {
+    seq: AtomicU64,
+    /// Active `peek`s pinning this slot's payload (hazard count). A
+    /// `pop` never needs it — the cursor `done` gate already keeps the
+    /// producer out — but `peek` holds no cursor claim, so it registers
+    /// here and the producer drains readers before dropping/overwriting.
+    readers: AtomicU32,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// One consumer's position in the stream.
+///
+/// `next` is claimed from (CAS), so concurrent `pop`s through the same
+/// cursor stay exactly-once; `done` trails it and is the only thing the
+/// producer reads — a slot is reclaimable once every live cursor's
+/// `done` has passed it. Keeping the two on separate cache lines keeps
+/// producer reclamation scans off the consumer's claim line.
+struct CursorState {
+    next: CachePadded<AtomicU64>,
+    done: CachePadded<AtomicU64>,
+    live: AtomicBool,
+}
+
+impl CursorState {
+    fn at(position: u64) -> Arc<CursorState> {
+        Arc::new(CursorState {
+            next: CachePadded(AtomicU64::new(position)),
+            done: CachePadded(AtomicU64::new(position)),
+            live: AtomicBool::new(true),
+        })
+    }
+}
+
+/// A bounded, blocking, FIFO broadcast ring buffer.
+///
+/// See the [crate docs](crate) for the role it plays in MVE. `Ring` is
+/// `Sync`; share it as `Arc<Ring<T>>`. The ring-level `pop`/`peek`
+/// operate on a built-in default cursor (the original single-follower
+/// interface); additional followers attach mid-stream with
+/// [`Ring::subscribe`].
+pub struct Ring<T> {
+    slots: Box<[Slot<T>]>,
+    mask: u64,
+    capacity: usize,
+    /// Producer claim counter: the next stream position to write.
+    tail: CachePadded<AtomicU64>,
+    /// Producer-private lower bound of the slowest live cursor.
+    cached_min: CachePadded<AtomicU64>,
+    closed: AtomicBool,
+    poisoned: AtomicBool,
+    /// Cursor registry: mutated only on subscribe/detach, scanned only
+    /// when the ring looks full (or a high-water mark is taken).
+    cursors: Mutex<Vec<Arc<CursorState>>>,
+    default_cursor: Arc<CursorState>,
+    /// Consumers waiting for records (or close/poison).
+    data_waiters: WaitSet,
+    /// Producers waiting for space, plus `wait_empty` rendezvousers.
+    space_waiters: WaitSet,
+    /// Producer-written counters, on their own line: the push path
+    /// reads `high_water` every record, and sharing it with the
+    /// consumer-side counters would bounce the line on every pop.
+    producer_stats: CachePadded<ProducerStats>,
+    /// Consumer-written counters and the chaos stall config, likewise
+    /// isolated from producer-side traffic.
+    consumer_stats: CachePadded<ConsumerStats>,
+}
+
+struct ProducerStats {
+    high_water: AtomicU64,
+    stalls: AtomicU64,
+    stall_nanos: AtomicU64,
+}
+
+struct ConsumerStats {
+    popped: AtomicU64,
+    /// Monotone `pop` call counter (drives the stall schedule).
+    pops: AtomicU64,
+    /// Stall every Nth successful `pop`; 0 disables the perturbation.
+    pop_stall_every: AtomicU64,
+    /// Length of each injected consumer stall, in nanoseconds.
+    pop_stall_nanos: AtomicU64,
+}
+
+// Values are written by the producer thread and read (`&T` for clone)
+// by consumer threads — possibly by several at once (`peek` + `pop`),
+// hence `T: Sync` on top of the usual `T: Send`.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send + Sync> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    /// Creates a ring holding at most `capacity` records.
+    ///
+    /// Slots are preallocated (rounded up to a power of two); record
+    /// payloads are written in place and only dropped on overwrite or
+    /// ring teardown.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (a zero ring cannot make progress —
+    /// use the lockstep mode in `mvedsua-mve` for rendezvous semantics).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        let slot_count = capacity.next_power_of_two();
+        let slots: Box<[Slot<T>]> = (0..slot_count)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                readers: AtomicU32::new(0),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Ring {
+            slots,
+            mask: slot_count as u64 - 1,
+            capacity,
+            tail: CachePadded(AtomicU64::new(0)),
+            cached_min: CachePadded(AtomicU64::new(0)),
+            closed: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            default_cursor: CursorState::at(0),
+            cursors: Mutex::new(Vec::new()),
+            data_waiters: WaitSet::new(),
+            space_waiters: WaitSet::new(),
+            producer_stats: CachePadded(ProducerStats {
+                high_water: AtomicU64::new(0),
+                stalls: AtomicU64::new(0),
+                stall_nanos: AtomicU64::new(0),
+            }),
+            consumer_stats: CachePadded(ConsumerStats {
+                popped: AtomicU64::new(0),
+                pops: AtomicU64::new(0),
+                pop_stall_every: AtomicU64::new(0),
+                pop_stall_nanos: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Perturbation hook for the chaos harness: every `every`-th
+    /// successful `pop` sleeps for `stall` first, modelling a descheduled
+    /// or lagging consumer. `every == 0` disables it. Only timing shifts;
+    /// FIFO order and delivery are untouched.
+    pub fn set_pop_stall(&self, every: u64, stall: Duration) {
+        self.consumer_stats
+            .0
+            .pop_stall_nanos
+            .store(stall.as_nanos() as u64, Ordering::Relaxed);
+        self.consumer_stats
+            .0
+            .pop_stall_every
+            .store(every, Ordering::Relaxed);
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy: records the slowest live cursor has yet to
+    /// consume. Zero once the ring is poisoned (buffered records are
+    /// discarded).
+    pub fn len(&self) -> usize {
+        if self.poisoned.load(Ordering::Acquire) {
+            return 0;
+        }
+        let min = self.refresh_min();
+        (self.tail.0.load(Ordering::Acquire).saturating_sub(min)) as usize
+    }
+
+    /// True when no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the usage counters.
+    pub fn stats(&self) -> RingStats {
+        RingStats {
+            pushed: self.tail.0.load(Ordering::Acquire),
+            popped: self.consumer_stats.0.popped.load(Ordering::Relaxed),
+            high_water: self.producer_stats.0.high_water.load(Ordering::Relaxed) as usize,
+            producer_stalls: self.producer_stats.0.stalls.load(Ordering::Relaxed),
+            producer_stall_nanos: self.producer_stats.0.stall_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    fn slot(&self, position: u64) -> &Slot<T> {
+        &self.slots[(position & self.mask) as usize]
+    }
+
+    /// Rescans the cursor registry for the slowest live cursor and
+    /// refreshes the producer's cached bound. Only called when the ring
+    /// looks full, on high-water updates, and from `len`/`wait_empty` —
+    /// never on the steady-state push path.
+    fn refresh_min(&self) -> u64 {
+        let cursors = self.cursors.lock();
+        let mut min = self.default_cursor.done.0.load(Ordering::Acquire);
+        for cursor in cursors.iter() {
+            if cursor.live.load(Ordering::Acquire) {
+                min = min.min(cursor.done.0.load(Ordering::Acquire));
+            }
+        }
+        self.cached_min.0.store(min, Ordering::Relaxed);
+        min
+    }
+
+    /// Claims `n` contiguous stream positions, blocking (when `block`)
+    /// while the slowest live cursor is `capacity` behind.
+    fn claim(&self, n: u64, block: bool) -> Result<u64, RingError> {
+        let mut backoff = Backoff::new();
+        loop {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(RingError::Poisoned);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return Err(RingError::Closed);
+            }
+            let tail = self.tail.0.load(Ordering::Relaxed);
+            let room = tail + n - self.cached_min.0.load(Ordering::Relaxed) <= self.capacity as u64
+                || tail + n - self.refresh_min() <= self.capacity as u64;
+            if room {
+                if self
+                    .tail
+                    .0
+                    .compare_exchange(tail, tail + n, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return Ok(tail);
+                }
+                continue;
+            }
+            if !block {
+                return Err(RingError::TimedOut);
+            }
+            self.producer_stats.0.stalls.fetch_add(1, Ordering::Relaxed);
+            let begin = Instant::now();
+            // Park until a cursor advances (or the ring dies); the
+            // ready closure keeps this immune to lost wakeups.
+            backoff.idle(
+                &self.space_waiters,
+                || {
+                    self.poisoned.load(Ordering::Acquire)
+                        || self.closed.load(Ordering::Acquire)
+                        || self.tail.0.load(Ordering::Relaxed) + n - self.refresh_min()
+                            <= self.capacity as u64
+                },
+                None,
+            );
+            self.producer_stats
+                .0
+                .stall_nanos
+                .fetch_add(begin.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether position `p` reuses a slot that still holds an old
+    /// record. Slots are written in strict position order, so slot
+    /// `p & mask` holds the record of `p - slot_count` iff `p` is past
+    /// the first lap — no need to read the sequence word to know.
+    fn reclaims(&self, position: u64) -> bool {
+        position >= self.slots.len() as u64
+    }
+
+    /// Spin until no `peek` holds a reference into `slot`. Must be
+    /// called after marking the slot WRITING and a `SeqCst` fence:
+    /// either a concurrent peeker's revalidation (registration →
+    /// fence → sequence check) observes the WRITING mark and backs
+    /// off, or this load observes its registration and waits it out.
+    fn drain_peekers(&self, slot: &Slot<T>) {
+        let mut spins = 0u32;
+        while slot.readers.load(Ordering::Relaxed) != 0 {
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            spins += 1;
+        }
+    }
+
+    /// Writes `value` at claimed position `p` and publishes its slot.
+    fn write_at(&self, position: u64, value: T) {
+        let slot = self.slot(position);
+        debug_assert_ne!(
+            slot.seq.load(Ordering::Relaxed),
+            WRITING,
+            "slot claimed twice"
+        );
+        unsafe {
+            if self.reclaims(position) {
+                // The slot still holds the record from `slot_count`
+                // positions ago; every cursor has passed it (the claim
+                // gate guarantees it), but a `peek` may still hold a
+                // reference into it — hazard handshake before reuse.
+                slot.seq.store(WRITING, Ordering::Relaxed);
+                std::sync::atomic::fence(Ordering::SeqCst);
+                self.drain_peekers(slot);
+                (*slot.value.get()).assume_init_drop();
+            }
+            (*slot.value.get()).write(value);
+        }
+        slot.seq.store(position + 1, Ordering::Release);
+    }
+
+    /// Batched variant of [`Ring::write_at`]: marks the whole chunk
+    /// WRITING behind a single hazard fence, then reclaims, writes, and
+    /// publishes record by record — the per-record cost is plain loads
+    /// and stores.
+    fn write_chunk(&self, position: u64, items: impl Iterator<Item = T>, chunk: u64) {
+        if self.reclaims(position + chunk - 1) {
+            for i in 0..chunk {
+                let slot = self.slot(position + i);
+                debug_assert_ne!(
+                    slot.seq.load(Ordering::Relaxed),
+                    WRITING,
+                    "slot claimed twice"
+                );
+                if self.reclaims(position + i) {
+                    slot.seq.store(WRITING, Ordering::Relaxed);
+                }
+            }
+            std::sync::atomic::fence(Ordering::SeqCst);
+        }
+        let mut taken = 0u64;
+        for (i, value) in (0..chunk).zip(items) {
+            let slot = self.slot(position + i);
+            unsafe {
+                if self.reclaims(position + i) {
+                    self.drain_peekers(slot);
+                    (*slot.value.get()).assume_init_drop();
+                }
+                (*slot.value.get()).write(value);
+            }
+            slot.seq.store(position + i + 1, Ordering::Release);
+            taken += 1;
+        }
+        debug_assert_eq!(taken, chunk, "iterator shorter than claimed chunk");
+    }
+
+    /// Tracks the high-water mark after publishing up to `end`
+    /// (exclusive). Rescans cursors only when a new maximum is likely.
+    fn note_high_water(&self, end: u64) {
+        let estimate = end.saturating_sub(self.cached_min.0.load(Ordering::Relaxed));
+        if estimate > self.producer_stats.0.high_water.load(Ordering::Relaxed) {
+            let occupancy = end
+                .saturating_sub(self.refresh_min())
+                .min(self.capacity as u64);
+            self.producer_stats
+                .0
+                .high_water
+                .fetch_max(occupancy, Ordering::Relaxed);
+        }
+    }
+
+    /// Appends a record, blocking while the ring is full.
+    ///
+    /// # Errors
+    /// [`RingError::Poisoned`] if the consumer is gone, or
+    /// [`RingError::Closed`] if `close` was already called.
+    pub fn push(&self, item: T) -> Result<(), RingError> {
+        let position = self.claim(1, true)?;
+        self.write_at(position, item);
+        self.note_high_water(position + 1);
+        self.data_waiters.notify();
+        Ok(())
+    }
+
+    /// Appends a record if there is room, without blocking.
+    ///
+    /// # Errors
+    /// Also [`RingError::TimedOut`] when the ring is full.
+    pub fn try_push(&self, item: T) -> Result<(), RingError> {
+        let position = self.claim(1, false)?;
+        self.write_at(position, item);
+        self.note_high_water(position + 1);
+        self.data_waiters.notify();
+        Ok(())
+    }
+
+    /// Appends a batch of records, blocking while the ring is full.
+    /// Slots for up to `capacity` records at a time are claimed in one
+    /// synchronization round, so per-record overhead amortizes away.
+    ///
+    /// # Errors
+    /// As [`Ring::push`]. On error, records already published stay
+    /// published; the unpublished remainder of the batch is dropped.
+    pub fn push_batch(&self, items: impl IntoIterator<Item = T>) -> Result<(), RingError> {
+        let mut pending: Vec<T> = items.into_iter().collect();
+        let mut queue = pending.drain(..);
+        loop {
+            let chunk = queue.len().min(self.capacity) as u64;
+            if chunk == 0 {
+                return Ok(());
+            }
+            let position = self.claim(chunk, true)?;
+            self.write_chunk(position, queue.by_ref(), chunk);
+            self.note_high_water(position + chunk);
+            self.data_waiters.notify();
+        }
+    }
+
+    /// Marks the producer side finished: consumers drain the remaining
+    /// records and then see [`RingError::Closed`]. Idempotent.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.data_waiters.notify();
+        self.space_waiters.notify();
+    }
+
+    /// Marks the consumer side gone: producers (blocked or future) fail
+    /// with [`RingError::Poisoned`], and buffered records are discarded.
+    /// Used on rollback, when the follower is terminated. Idempotent.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        self.data_waiters.notify();
+        self.space_waiters.notify();
+    }
+
+    /// Blocks until the ring drains empty (every live cursor caught
+    /// up), the ring dies, or `timeout` elapses. Lockstep execution
+    /// (the MUC/Mx baselines) rendezvouses on this after every push.
+    ///
+    /// # Errors
+    /// [`RingError::Poisoned`] if poisoned, [`RingError::TimedOut`] on
+    /// timeout. A closed ring that drains still returns `Ok`.
+    pub fn wait_empty(&self, timeout: Option<Duration>) -> Result<(), RingError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut backoff = Backoff::new();
+        loop {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(RingError::Poisoned);
+            }
+            if self.refresh_min() >= self.tail.0.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            let drained = !backoff.idle(
+                &self.space_waiters,
+                || {
+                    self.poisoned.load(Ordering::Acquire)
+                        || self.refresh_min() >= self.tail.0.load(Ordering::Acquire)
+                },
+                deadline,
+            );
+            if drained {
+                return Err(RingError::TimedOut);
+            }
+        }
+    }
+
+    /// True once [`Ring::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// True once [`Ring::poison`] has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Attaches a new consumer cursor at the leader's current head:
+    /// the cursor observes every record published after this call and
+    /// nothing before it — the MVEDSUA fork stage in miniature (the
+    /// freshly forked follower joins mid-stream).
+    pub fn subscribe(self: &Arc<Self>) -> Cursor<T> {
+        let cursors = &mut *self.cursors.lock();
+        // Attach under the registry lock so a concurrent reclamation
+        // scan cannot miss the newborn cursor.
+        let state = CursorState::at(self.tail.0.load(Ordering::SeqCst));
+        cursors.push(state.clone());
+        Cursor {
+            ring: self.clone(),
+            state,
+        }
+    }
+
+    /// Old-style chaos stall, applied once per pop call (successful or
+    /// not), exactly as the mutex ring did it.
+    fn apply_pop_stall(&self) {
+        self.apply_pop_stall_batch(1);
+    }
+
+    /// Advances the chaos stall schedule by `count` pop-call indices in
+    /// one counter update and sleeps once per scheduled index in the
+    /// window, so batched draining consumes exactly the indices that
+    /// record-at-a-time draining would.
+    fn apply_pop_stall_batch(&self, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let stats = &self.consumer_stats.0;
+        let every = stats.pop_stall_every.load(Ordering::Relaxed);
+        if every == 0 {
+            // The call counter only matters while the perturbation is
+            // armed, and the chaos harness arms it before the first pop
+            // — skip the counter update on the unperturbed hot path.
+            return;
+        }
+        let start = stats.pops.fetch_add(count, Ordering::Relaxed);
+        let stall = Duration::from_nanos(stats.pop_stall_nanos.load(Ordering::Relaxed));
+        if stall.is_zero() {
+            return;
+        }
+        // First multiple of `every` at or after `start`.
+        let mut index = start.div_ceil(every) * every;
+        while index < start + count {
+            std::thread::sleep(stall);
+            index += every;
+        }
+    }
+}
+
+impl<T: Clone> Ring<T> {
+    /// Removes and returns the oldest record, blocking while empty.
+    /// With `timeout = None` the wait is unbounded.
+    ///
+    /// # Errors
+    /// [`RingError::Closed`] once the ring is closed *and* drained;
+    /// [`RingError::TimedOut`] if `timeout` elapses;
+    /// [`RingError::Poisoned`] if the ring was poisoned.
+    pub fn pop(&self, timeout: Option<Duration>) -> Result<T, RingError> {
+        self.apply_pop_stall();
+        let deadline = timeout.map(|t| Instant::now() + t);
+        self.cursor_pop(&self.default_cursor, deadline)
+    }
+
+    /// Removes and returns up to `max` records in one synchronization
+    /// round: blocks for the first record with `pop` semantics, then
+    /// takes whatever contiguous run is already published, without
+    /// waiting. The whole run is claimed with a single cursor CAS and
+    /// retired with a single `done` advance, so per-record cost drops
+    /// to a sequence-word load plus the clone. The chaos stall schedule
+    /// still advances once per record, keeping perturbation density
+    /// identical to record-at-a-time consumption.
+    ///
+    /// # Errors
+    /// As [`Ring::pop`] when no record could be taken at all.
+    pub fn pop_batch(&self, max: usize, timeout: Option<Duration>) -> Result<Vec<T>, RingError> {
+        self.cursor_pop_batch(&self.default_cursor, max, timeout)
+    }
+
+    /// Returns a clone of the record at offset `index` from the front,
+    /// blocking until the ring holds at least `index + 1` records.
+    ///
+    /// Rewrite rules that match multi-call patterns (e.g. Figure 5's
+    /// `read(...), write(...)` pair) peek ahead before consuming.
+    ///
+    /// # Errors
+    /// Same conditions as [`Ring::pop`]; `Closed` here means the ring
+    /// closed before enough records arrived.
+    pub fn peek(&self, index: usize, timeout: Option<Duration>) -> Result<T, RingError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        self.cursor_peek(&self.default_cursor, index, deadline)
+    }
+
+    fn cursor_pop(&self, cursor: &CursorState, deadline: Option<Instant>) -> Result<T, RingError> {
+        let mut backoff = Backoff::new();
+        loop {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(RingError::Poisoned);
+            }
+            if let Some(item) = self.cursor_claim_one(cursor) {
+                return Ok(item);
+            }
+            let position = cursor.next.0.load(Ordering::Acquire);
+            if self.closed.load(Ordering::Acquire)
+                && position >= self.tail.0.load(Ordering::Acquire)
+            {
+                return Err(RingError::Closed);
+            }
+            let expired = !backoff.idle(
+                &self.data_waiters,
+                || {
+                    self.poisoned.load(Ordering::Acquire)
+                        || self.closed.load(Ordering::Acquire)
+                        || {
+                            let p = cursor.next.0.load(Ordering::Acquire);
+                            self.slot(p).seq.load(Ordering::Acquire) == p + 1
+                        }
+                },
+                deadline,
+            );
+            if expired {
+                return Err(RingError::TimedOut);
+            }
+        }
+    }
+
+    fn cursor_pop_batch(
+        &self,
+        cursor: &CursorState,
+        max: usize,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<T>, RingError> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        self.apply_pop_stall();
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut backoff = Backoff::new();
+        let mut out = Vec::new();
+        loop {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(RingError::Poisoned);
+            }
+            let taken = self.cursor_claim_run(cursor, max, &mut out);
+            if taken > 0 {
+                // One schedule slot per record, like record-at-a-time
+                // draining (the first was consumed on entry).
+                self.apply_pop_stall_batch(taken as u64 - 1);
+                return Ok(out);
+            }
+            let position = cursor.next.0.load(Ordering::Acquire);
+            if self.closed.load(Ordering::Acquire)
+                && position >= self.tail.0.load(Ordering::Acquire)
+            {
+                return Err(RingError::Closed);
+            }
+            let expired = !backoff.idle(
+                &self.data_waiters,
+                || {
+                    self.poisoned.load(Ordering::Acquire)
+                        || self.closed.load(Ordering::Acquire)
+                        || {
+                            let p = cursor.next.0.load(Ordering::Acquire);
+                            self.slot(p).seq.load(Ordering::Acquire) == p + 1
+                        }
+                },
+                deadline,
+            );
+            if expired {
+                return Err(RingError::TimedOut);
+            }
+        }
+    }
+
+    /// One exactly-once consume attempt: CAS-claim the cursor's `next`
+    /// position if its slot is published, clone the payload, then
+    /// retire the position in order via `done` (the producer's
+    /// reclamation gate — the slot cannot be overwritten before `done`
+    /// passes it, which is what makes the clone race-free).
+    fn cursor_claim_one(&self, cursor: &CursorState) -> Option<T> {
+        loop {
+            let position = cursor.next.0.load(Ordering::Acquire);
+            let slot = self.slot(position);
+            if slot.seq.load(Ordering::Acquire) != position + 1 {
+                return None;
+            }
+            if cursor
+                .next
+                .0
+                .compare_exchange(position, position + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                // Another thread took this position through the same
+                // cursor; retry at the new front.
+                continue;
+            }
+            let item = unsafe { (*slot.value.get()).assume_init_ref() }.clone();
+            // In-order retirement: concurrent same-cursor poppers may
+            // finish out of claim order; `done` must advance
+            // contiguously for the producer's gate to be meaningful.
+            let mut spins = 0u32;
+            while cursor.done.0.load(Ordering::Acquire) != position {
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+                spins += 1;
+            }
+            cursor.done.0.store(position + 1, Ordering::Release);
+            self.consumer_stats.0.popped.fetch_add(1, Ordering::Relaxed);
+            self.space_waiters.notify();
+            return Some(item);
+        }
+    }
+
+    /// Batched consume: claims the longest published contiguous run
+    /// (capped at `max`) with a single CAS, clones it, and retires it
+    /// with a single `done` advance. Returns how many records were
+    /// appended to `out` (0 when nothing is published).
+    fn cursor_claim_run(&self, cursor: &CursorState, max: usize, out: &mut Vec<T>) -> usize {
+        loop {
+            let start = cursor.next.0.load(Ordering::Acquire);
+            let mut run = 0u64;
+            while (run as usize) < max
+                && self.slot(start + run).seq.load(Ordering::Acquire) == start + run + 1
+            {
+                run += 1;
+            }
+            if run == 0 {
+                return 0;
+            }
+            if cursor
+                .next
+                .0
+                .compare_exchange(start, start + run, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            out.reserve(run as usize);
+            for i in 0..run {
+                let slot = self.slot(start + i);
+                out.push(unsafe { (*slot.value.get()).assume_init_ref() }.clone());
+            }
+            let mut spins = 0u32;
+            while cursor.done.0.load(Ordering::Acquire) != start {
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+                spins += 1;
+            }
+            cursor.done.0.store(start + run, Ordering::Release);
+            self.consumer_stats
+                .0
+                .popped
+                .fetch_add(run, Ordering::Relaxed);
+            self.space_waiters.notify();
+            return run as usize;
+        }
+    }
+
+    fn cursor_peek(
+        &self,
+        cursor: &CursorState,
+        index: usize,
+        deadline: Option<Instant>,
+    ) -> Result<T, RingError> {
+        let mut backoff = Backoff::new();
+        loop {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(RingError::Poisoned);
+            }
+            let front = cursor.next.0.load(Ordering::Acquire);
+            let target = front + index as u64;
+            let slot = self.slot(target);
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == target + 1 {
+                // A peek holds no cursor claim, so nothing stops a
+                // concurrent pop (through this same cursor) from
+                // letting the producer reclaim the slot mid-read. Pin
+                // the payload with a hazard count and revalidate:
+                // either the revalidation sees the producer's WRITING
+                // swap and backs off, or the producer's reader check
+                // (sequenced after its swap) sees our registration and
+                // waits for us to finish cloning.
+                slot.readers.fetch_add(1, Ordering::SeqCst);
+                std::sync::atomic::fence(Ordering::SeqCst);
+                let item = if slot.seq.load(Ordering::SeqCst) == target + 1 {
+                    Some(unsafe { (*slot.value.get()).assume_init_ref() }.clone())
+                } else {
+                    None
+                };
+                slot.readers.fetch_sub(1, Ordering::SeqCst);
+                match item {
+                    Some(item) => return Ok(item),
+                    None => continue,
+                }
+            }
+            if seq != WRITING && seq > target + 1 {
+                // The cursor advanced past `target` under us; recompute.
+                continue;
+            }
+            if self.closed.load(Ordering::Acquire) && target >= self.tail.0.load(Ordering::Acquire)
+            {
+                return Err(RingError::Closed);
+            }
+            let expired = !backoff.idle(
+                &self.data_waiters,
+                || {
+                    self.poisoned.load(Ordering::Acquire)
+                        || self.closed.load(Ordering::Acquire)
+                        || {
+                            let t = cursor.next.0.load(Ordering::Acquire) + index as u64;
+                            self.slot(t).seq.load(Ordering::Acquire) == t + 1
+                        }
+                },
+                deadline,
+            );
+            if expired {
+                return Err(RingError::TimedOut);
+            }
+        }
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        for slot in self.slots.iter() {
+            let seq = slot.seq.load(Ordering::Relaxed);
+            if seq != 0 && seq != WRITING {
+                unsafe { (*slot.value.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Ring<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring")
+            .field("capacity", &self.capacity)
+            .field("pushed", &self.tail.0.load(Ordering::Relaxed))
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .field("poisoned", &self.poisoned.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// An independent read cursor over a [`Ring`], created by
+/// [`Ring::subscribe`]. Detaches on drop, releasing its slots for
+/// reclamation (so an abandoned slow follower can never wedge the
+/// leader).
+pub struct Cursor<T> {
+    ring: Arc<Ring<T>>,
+    state: Arc<CursorState>,
+}
+
+impl<T: Clone> Cursor<T> {
+    /// As [`Ring::pop`], on this cursor.
+    ///
+    /// # Errors
+    /// Same conditions as [`Ring::pop`].
+    pub fn pop(&self, timeout: Option<Duration>) -> Result<T, RingError> {
+        self.ring.apply_pop_stall();
+        let deadline = timeout.map(|t| Instant::now() + t);
+        self.ring.cursor_pop(&self.state, deadline)
+    }
+
+    /// As [`Ring::pop_batch`], on this cursor.
+    ///
+    /// # Errors
+    /// Same conditions as [`Ring::pop_batch`].
+    pub fn pop_batch(&self, max: usize, timeout: Option<Duration>) -> Result<Vec<T>, RingError> {
+        self.ring.cursor_pop_batch(&self.state, max, timeout)
+    }
+
+    /// As [`Ring::peek`], on this cursor.
+    ///
+    /// # Errors
+    /// Same conditions as [`Ring::peek`].
+    pub fn peek(&self, index: usize, timeout: Option<Duration>) -> Result<T, RingError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        self.ring.cursor_peek(&self.state, index, deadline)
+    }
+}
+
+impl<T> Cursor<T> {
+    /// Stream position of the next record this cursor will consume.
+    pub fn position(&self) -> u64 {
+        self.state.done.0.load(Ordering::Acquire)
+    }
+
+    /// Records published but not yet consumed through this cursor.
+    pub fn lag(&self) -> u64 {
+        self.ring
+            .tail
+            .0
+            .load(Ordering::Acquire)
+            .saturating_sub(self.position())
+    }
+
+    /// The ring this cursor reads.
+    pub fn ring(&self) -> &Arc<Ring<T>> {
+        &self.ring
+    }
+}
+
+impl<T> Drop for Cursor<T> {
+    fn drop(&mut self) {
+        self.state.live.store(false, Ordering::SeqCst);
+        self.ring
+            .cursors
+            .lock()
+            .retain(|c| !Arc::ptr_eq(c, &self.state));
+        // The minimum may have jumped forward: unblock the producer.
+        self.ring.space_waiters.notify();
+    }
+}
+
+impl<T> std::fmt::Debug for Cursor<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cursor")
+            .field("position", &self.position())
+            .field("lag", &self.lag())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let r = Ring::with_capacity(8);
+        for i in 0..5 {
+            r.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(r.pop(None).unwrap(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = Ring::<u8>::with_capacity(0);
+    }
+
+    #[test]
+    fn capacity_is_logical_not_slot_count() {
+        // Capacity 3 rounds up to 4 slots but must still block at 3.
+        let r = Ring::with_capacity(3);
+        r.push(1u32).unwrap();
+        r.push(2).unwrap();
+        r.push(3).unwrap();
+        assert_eq!(r.try_push(4).unwrap_err(), RingError::TimedOut);
+        assert_eq!(r.pop(None).unwrap(), 1);
+        r.try_push(4).unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn push_blocks_when_full_until_pop() {
+        let r = Arc::new(Ring::with_capacity(1));
+        r.push(1u32).unwrap();
+        let r2 = r.clone();
+        let t = thread::spawn(move || {
+            r2.push(2).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(r.len(), 1, "producer is blocked");
+        assert_eq!(r.pop(None).unwrap(), 1);
+        t.join().unwrap();
+        assert_eq!(r.pop(None).unwrap(), 2);
+        assert!(r.stats().producer_stalls >= 1);
+        assert!(r.stats().producer_stall_nanos > 0);
+    }
+
+    #[test]
+    fn try_push_full_times_out() {
+        let r = Ring::with_capacity(1);
+        r.try_push(1).unwrap();
+        assert_eq!(r.try_push(2).unwrap_err(), RingError::TimedOut);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let r = Arc::new(Ring::with_capacity(2));
+        let r2 = r.clone();
+        let t = thread::spawn(move || r2.pop(None).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        r.push(42u32).unwrap();
+        assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn pop_timeout() {
+        let r: Ring<u8> = Ring::with_capacity(2);
+        assert_eq!(
+            r.pop(Some(Duration::from_millis(10))).unwrap_err(),
+            RingError::TimedOut
+        );
+    }
+
+    #[test]
+    fn close_drains_then_errors() {
+        let r = Ring::with_capacity(4);
+        r.push(1).unwrap();
+        r.push(2).unwrap();
+        r.close();
+        assert_eq!(r.push(3).unwrap_err(), RingError::Closed);
+        assert_eq!(r.pop(None).unwrap(), 1);
+        assert_eq!(r.pop(None).unwrap(), 2);
+        assert_eq!(r.pop(None).unwrap_err(), RingError::Closed);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let r: Arc<Ring<u8>> = Arc::new(Ring::with_capacity(2));
+        let r2 = r.clone();
+        let t = thread::spawn(move || r2.pop(None));
+        thread::sleep(Duration::from_millis(20));
+        r.close();
+        assert_eq!(t.join().unwrap().unwrap_err(), RingError::Closed);
+    }
+
+    #[test]
+    fn poison_discards_and_unblocks_producer() {
+        let r = Arc::new(Ring::with_capacity(1));
+        r.push(1u32).unwrap();
+        let r2 = r.clone();
+        let t = thread::spawn(move || r2.push(2));
+        thread::sleep(Duration::from_millis(20));
+        r.poison();
+        assert_eq!(t.join().unwrap().unwrap_err(), RingError::Poisoned);
+        assert_eq!(r.pop(None).unwrap_err(), RingError::Poisoned);
+        assert!(r.is_poisoned());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let r = Ring::with_capacity(4);
+        r.push("a").unwrap();
+        r.push("b").unwrap();
+        assert_eq!(r.peek(0, None).unwrap(), "a");
+        assert_eq!(r.peek(1, None).unwrap(), "b");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop(None).unwrap(), "a");
+    }
+
+    #[test]
+    fn peek_blocks_for_depth() {
+        let r = Arc::new(Ring::with_capacity(4));
+        r.push(1u32).unwrap();
+        let r2 = r.clone();
+        let t = thread::spawn(move || r2.peek(1, None).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        r.push(2).unwrap();
+        assert_eq!(t.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn peek_closed_before_depth_errors() {
+        let r = Ring::with_capacity(4);
+        r.push(1u32).unwrap();
+        r.close();
+        assert_eq!(r.peek(0, None).unwrap(), 1);
+        assert_eq!(r.peek(1, None).unwrap_err(), RingError::Closed);
+    }
+
+    #[test]
+    fn stats_track_pushes_pops_and_high_water() {
+        let r = Ring::with_capacity(8);
+        for i in 0..6 {
+            r.push(i).unwrap();
+        }
+        for _ in 0..2 {
+            r.pop(None).unwrap();
+        }
+        let s = r.stats();
+        assert_eq!(s.pushed, 6);
+        assert_eq!(s.popped, 2);
+        assert_eq!(s.high_water, 6);
+    }
+
+    #[test]
+    fn wait_empty_rendezvous() {
+        let r = Arc::new(Ring::with_capacity(4));
+        r.push(1u32).unwrap();
+        assert_eq!(
+            r.wait_empty(Some(Duration::from_millis(10))).unwrap_err(),
+            RingError::TimedOut
+        );
+        let r2 = r.clone();
+        let t = thread::spawn(move || r2.wait_empty(None));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(r.pop(None).unwrap(), 1);
+        t.join().unwrap().unwrap();
+        // Poison unblocks waiters with an error.
+        r.push(2).unwrap();
+        let r3 = r.clone();
+        let t = thread::spawn(move || r3.wait_empty(None));
+        thread::sleep(Duration::from_millis(20));
+        r.poison();
+        assert_eq!(t.join().unwrap().unwrap_err(), RingError::Poisoned);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_preserves_order_and_count() {
+        const N: u64 = 10_000;
+        let r = Arc::new(Ring::with_capacity(64));
+        let producer = {
+            let r = r.clone();
+            thread::spawn(move || {
+                for i in 0..N {
+                    r.push(i).unwrap();
+                }
+                r.close();
+            })
+        };
+        let consumer = {
+            let r = r.clone();
+            thread::spawn(move || {
+                let mut expected = 0u64;
+                while let Ok(v) = r.pop(None) {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                }
+                expected
+            })
+        };
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), N);
+        let s = r.stats();
+        assert_eq!(s.pushed, N);
+        assert_eq!(s.popped, N);
+        assert!(s.high_water <= 64);
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let r = Ring::with_capacity(8);
+        r.push_batch(0..6u32).unwrap();
+        assert_eq!(r.pop_batch(4, None).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(r.pop_batch(4, None).unwrap(), vec![4, 5]);
+        r.close();
+        assert_eq!(r.pop_batch(4, None).unwrap_err(), RingError::Closed);
+    }
+
+    #[test]
+    fn push_batch_larger_than_capacity_chunks() {
+        let r = Arc::new(Ring::with_capacity(4));
+        let r2 = r.clone();
+        let producer = thread::spawn(move || {
+            r2.push_batch(0..100u32).unwrap();
+            r2.close();
+        });
+        let mut got = Vec::new();
+        while let Ok(mut batch) = r.pop_batch(16, None) {
+            got.append(&mut batch);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subscriber_attaches_at_head() {
+        let r = Arc::new(Ring::with_capacity(8));
+        r.push(1u32).unwrap();
+        r.push(2).unwrap();
+        let cursor = r.subscribe();
+        r.push(3).unwrap();
+        // The default cursor sees everything; the late cursor only
+        // what was published after it attached.
+        assert_eq!(cursor.pop(None).unwrap(), 3);
+        assert_eq!(r.pop(None).unwrap(), 1);
+        assert_eq!(r.pop(None).unwrap(), 2);
+        assert_eq!(r.pop(None).unwrap(), 3);
+    }
+
+    #[test]
+    fn slow_subscriber_gates_reclamation() {
+        let r = Arc::new(Ring::with_capacity(2));
+        let cursor = r.subscribe();
+        r.push(1u32).unwrap();
+        r.push(2).unwrap();
+        // Default cursor drains, but the subscriber has not: the ring
+        // is still full from the producer's point of view.
+        assert_eq!(r.pop(None).unwrap(), 1);
+        assert_eq!(r.pop(None).unwrap(), 2);
+        assert_eq!(r.try_push(3).unwrap_err(), RingError::TimedOut);
+        assert_eq!(cursor.pop(None).unwrap(), 1);
+        r.try_push(3).unwrap();
+        // Dropping the laggard releases its claim entirely.
+        drop(cursor);
+        r.try_push(4).unwrap();
+        assert_eq!(r.pop(None).unwrap(), 3);
+        assert_eq!(r.pop(None).unwrap(), 4);
+    }
+}

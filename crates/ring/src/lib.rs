@@ -14,9 +14,17 @@
 //!   Figure 7's ring-size sweep exists precisely because of this.
 //! * **Records are never dropped or reordered.**
 //!
-//! The implementation is a mutex+condvar bounded deque rather than a
-//! lock-free ring: variant threads block on it by design, and the stats
-//! it keeps (high-water mark, producer stall time) feed the benchmarks.
+//! Two implementations live here:
+//!
+//! * [`Ring`] — the default: a fixed-capacity, cache-line-padded,
+//!   lock-free **broadcast** ring matching Varan's shared-memory design.
+//!   The producer writes into preallocated slots guarded by per-slot
+//!   sequence numbers; each consumer owns an independent cursor; a slot
+//!   is reclaimed only once the slowest live cursor has passed it. See
+//!   `docs/ring.md` for the slot/sequence/cursor protocol.
+//! * [`mutex_ring::MutexRing`] — the original mutex+condvar bounded
+//!   deque, kept as the measured baseline for `ring_bench` (it is what
+//!   the lock-free ring's speedup is quoted against).
 //!
 //! # Example
 //!
@@ -34,13 +42,14 @@
 //! # Ok::<(), ring::RingError>(())
 //! ```
 
-use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+mod broadcast;
+pub mod mutex_ring;
+mod wait;
+
+pub use broadcast::{Cursor, Ring};
 
 /// Why a ring operation could not complete.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -70,7 +79,7 @@ impl Error for RingError {}
 pub struct RingStats {
     /// Total records ever pushed.
     pub pushed: u64,
-    /// Total records ever popped.
+    /// Total records ever popped (summed over all cursors).
     pub popped: u64,
     /// Largest occupancy observed.
     pub high_water: usize,
@@ -78,484 +87,4 @@ pub struct RingStats {
     pub producer_stalls: u64,
     /// Cumulative nanoseconds producers spent blocked.
     pub producer_stall_nanos: u64,
-}
-
-#[derive(Debug)]
-struct State<T> {
-    queue: VecDeque<T>,
-    closed: bool,
-    poisoned: bool,
-    stats: RingStats,
-}
-
-/// A bounded, blocking, FIFO ring buffer.
-///
-/// See the [crate docs](crate) for the role it plays in MVE. `Ring` is
-/// `Sync`; share it as `Arc<Ring<T>>`.
-#[derive(Debug)]
-pub struct Ring<T> {
-    state: Mutex<State<T>>,
-    not_full: Condvar,
-    not_empty: Condvar,
-    capacity: usize,
-    /// Monotone `pop` call counter (drives the stall schedule).
-    pops: AtomicU64,
-    /// Stall every Nth successful `pop`; 0 disables the perturbation.
-    pop_stall_every: AtomicU64,
-    /// Length of each injected consumer stall, in nanoseconds.
-    pop_stall_nanos: AtomicU64,
-}
-
-impl<T> Ring<T> {
-    /// Creates a ring holding at most `capacity` records.
-    ///
-    /// # Panics
-    /// Panics if `capacity` is zero (a zero ring cannot make progress —
-    /// use the lockstep mode in `mvedsua-mve` for rendezvous semantics).
-    pub fn with_capacity(capacity: usize) -> Self {
-        assert!(capacity > 0, "ring capacity must be non-zero");
-        Ring {
-            state: Mutex::new(State {
-                queue: VecDeque::with_capacity(capacity.min(1 << 16)),
-                closed: false,
-                poisoned: false,
-                stats: RingStats::default(),
-            }),
-            not_full: Condvar::new(),
-            not_empty: Condvar::new(),
-            capacity,
-            pops: AtomicU64::new(0),
-            pop_stall_every: AtomicU64::new(0),
-            pop_stall_nanos: AtomicU64::new(0),
-        }
-    }
-
-    /// Perturbation hook for the chaos harness: every `every`-th
-    /// successful `pop` sleeps for `stall` first, modelling a descheduled
-    /// or lagging consumer. `every == 0` disables it. Only timing shifts;
-    /// FIFO order and delivery are untouched.
-    pub fn set_pop_stall(&self, every: u64, stall: Duration) {
-        self.pop_stall_nanos
-            .store(stall.as_nanos() as u64, Ordering::Relaxed);
-        self.pop_stall_every.store(every, Ordering::Relaxed);
-    }
-
-    /// The fixed capacity.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Current occupancy.
-    pub fn len(&self) -> usize {
-        self.state.lock().queue.len()
-    }
-
-    /// True when no records are buffered.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Snapshot of the usage counters.
-    pub fn stats(&self) -> RingStats {
-        self.state.lock().stats
-    }
-
-    /// Appends a record, blocking while the ring is full.
-    ///
-    /// # Errors
-    /// [`RingError::Poisoned`] if the consumer is gone, or
-    /// [`RingError::Closed`] if `close` was already called.
-    pub fn push(&self, item: T) -> Result<(), RingError> {
-        let mut st = self.state.lock();
-        loop {
-            if st.poisoned {
-                return Err(RingError::Poisoned);
-            }
-            if st.closed {
-                return Err(RingError::Closed);
-            }
-            if st.queue.len() < self.capacity {
-                st.queue.push_back(item);
-                st.stats.pushed += 1;
-                let occupancy = st.queue.len();
-                if occupancy > st.stats.high_water {
-                    st.stats.high_water = occupancy;
-                }
-                self.not_empty.notify_all();
-                return Ok(());
-            }
-            st.stats.producer_stalls += 1;
-            let begin = Instant::now();
-            self.not_full.wait(&mut st);
-            st.stats.producer_stall_nanos += begin.elapsed().as_nanos() as u64;
-        }
-    }
-
-    /// Appends a record if there is room, without blocking.
-    ///
-    /// # Errors
-    /// Also [`RingError::TimedOut`] when the ring is full.
-    pub fn try_push(&self, item: T) -> Result<(), RingError> {
-        let mut st = self.state.lock();
-        if st.poisoned {
-            return Err(RingError::Poisoned);
-        }
-        if st.closed {
-            return Err(RingError::Closed);
-        }
-        if st.queue.len() >= self.capacity {
-            return Err(RingError::TimedOut);
-        }
-        st.queue.push_back(item);
-        st.stats.pushed += 1;
-        let occupancy = st.queue.len();
-        if occupancy > st.stats.high_water {
-            st.stats.high_water = occupancy;
-        }
-        self.not_empty.notify_all();
-        Ok(())
-    }
-
-    /// Removes and returns the oldest record, blocking while empty.
-    /// With `timeout = None` the wait is unbounded.
-    ///
-    /// # Errors
-    /// [`RingError::Closed`] once the ring is closed *and* drained;
-    /// [`RingError::TimedOut`] if `timeout` elapses;
-    /// [`RingError::Poisoned`] if the ring was poisoned.
-    pub fn pop(&self, timeout: Option<Duration>) -> Result<T, RingError> {
-        let call_index = self.pops.fetch_add(1, Ordering::Relaxed);
-        let every = self.pop_stall_every.load(Ordering::Relaxed);
-        if every > 0 && call_index % every == 0 {
-            let stall = Duration::from_nanos(self.pop_stall_nanos.load(Ordering::Relaxed));
-            if !stall.is_zero() {
-                std::thread::sleep(stall);
-            }
-        }
-        let deadline = timeout.map(|t| Instant::now() + t);
-        let mut st = self.state.lock();
-        loop {
-            if let Some(item) = st.queue.pop_front() {
-                st.stats.popped += 1;
-                self.not_full.notify_all();
-                return Ok(item);
-            }
-            if st.poisoned {
-                return Err(RingError::Poisoned);
-            }
-            if st.closed {
-                return Err(RingError::Closed);
-            }
-            match deadline {
-                None => self.not_empty.wait(&mut st),
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        return Err(RingError::TimedOut);
-                    }
-                    let _ = self.not_empty.wait_for(&mut st, d - now);
-                }
-            }
-        }
-    }
-
-    /// Marks the producer side finished: consumers drain the remaining
-    /// records and then see [`RingError::Closed`]. Idempotent.
-    pub fn close(&self) {
-        let mut st = self.state.lock();
-        st.closed = true;
-        self.not_empty.notify_all();
-        self.not_full.notify_all();
-    }
-
-    /// Marks the consumer side gone: producers (blocked or future) fail
-    /// with [`RingError::Poisoned`], and buffered records are discarded.
-    /// Used on rollback, when the follower is terminated. Idempotent.
-    pub fn poison(&self) {
-        let mut st = self.state.lock();
-        st.poisoned = true;
-        st.queue.clear();
-        self.not_empty.notify_all();
-        self.not_full.notify_all();
-    }
-
-    /// Blocks until the ring drains empty (the consumer caught up), the
-    /// ring dies, or `timeout` elapses. Lockstep execution (the MUC/Mx
-    /// baselines) rendezvouses on this after every push.
-    ///
-    /// # Errors
-    /// [`RingError::Poisoned`] if poisoned, [`RingError::TimedOut`] on
-    /// timeout. A closed ring that drains still returns `Ok`.
-    pub fn wait_empty(&self, timeout: Option<Duration>) -> Result<(), RingError> {
-        let deadline = timeout.map(|t| Instant::now() + t);
-        let mut st = self.state.lock();
-        loop {
-            if st.poisoned {
-                return Err(RingError::Poisoned);
-            }
-            if st.queue.is_empty() {
-                return Ok(());
-            }
-            match deadline {
-                None => self.not_full.wait(&mut st),
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        return Err(RingError::TimedOut);
-                    }
-                    let _ = self.not_full.wait_for(&mut st, d - now);
-                }
-            }
-        }
-    }
-
-    /// True once [`Ring::close`] has been called.
-    pub fn is_closed(&self) -> bool {
-        self.state.lock().closed
-    }
-
-    /// True once [`Ring::poison`] has been called.
-    pub fn is_poisoned(&self) -> bool {
-        self.state.lock().poisoned
-    }
-}
-
-impl<T: Clone> Ring<T> {
-    /// Returns a clone of the record at offset `index` from the front,
-    /// blocking until the ring holds at least `index + 1` records.
-    ///
-    /// Rewrite rules that match multi-call patterns (e.g. Figure 5's
-    /// `read(...), write(...)` pair) peek ahead before consuming.
-    ///
-    /// # Errors
-    /// Same conditions as [`Ring::pop`]; `Closed` here means the ring
-    /// closed before enough records arrived.
-    pub fn peek(&self, index: usize, timeout: Option<Duration>) -> Result<T, RingError> {
-        let deadline = timeout.map(|t| Instant::now() + t);
-        let mut st = self.state.lock();
-        loop {
-            if let Some(item) = st.queue.get(index) {
-                return Ok(item.clone());
-            }
-            if st.poisoned {
-                return Err(RingError::Poisoned);
-            }
-            if st.closed {
-                return Err(RingError::Closed);
-            }
-            match deadline {
-                None => self.not_empty.wait(&mut st),
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        return Err(RingError::TimedOut);
-                    }
-                    let _ = self.not_empty.wait_for(&mut st, d - now);
-                }
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::Arc;
-    use std::thread;
-
-    #[test]
-    fn fifo_order() {
-        let r = Ring::with_capacity(8);
-        for i in 0..5 {
-            r.push(i).unwrap();
-        }
-        for i in 0..5 {
-            assert_eq!(r.pop(None).unwrap(), i);
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "non-zero")]
-    fn zero_capacity_panics() {
-        let _ = Ring::<u8>::with_capacity(0);
-    }
-
-    #[test]
-    fn push_blocks_when_full_until_pop() {
-        let r = Arc::new(Ring::with_capacity(1));
-        r.push(1u32).unwrap();
-        let r2 = r.clone();
-        let t = thread::spawn(move || {
-            r2.push(2).unwrap();
-        });
-        thread::sleep(Duration::from_millis(20));
-        assert_eq!(r.len(), 1, "producer is blocked");
-        assert_eq!(r.pop(None).unwrap(), 1);
-        t.join().unwrap();
-        assert_eq!(r.pop(None).unwrap(), 2);
-        assert!(r.stats().producer_stalls >= 1);
-        assert!(r.stats().producer_stall_nanos > 0);
-    }
-
-    #[test]
-    fn try_push_full_times_out() {
-        let r = Ring::with_capacity(1);
-        r.try_push(1).unwrap();
-        assert_eq!(r.try_push(2).unwrap_err(), RingError::TimedOut);
-    }
-
-    #[test]
-    fn pop_blocks_until_push() {
-        let r = Arc::new(Ring::with_capacity(2));
-        let r2 = r.clone();
-        let t = thread::spawn(move || r2.pop(None).unwrap());
-        thread::sleep(Duration::from_millis(20));
-        r.push(42u32).unwrap();
-        assert_eq!(t.join().unwrap(), 42);
-    }
-
-    #[test]
-    fn pop_timeout() {
-        let r: Ring<u8> = Ring::with_capacity(2);
-        assert_eq!(
-            r.pop(Some(Duration::from_millis(10))).unwrap_err(),
-            RingError::TimedOut
-        );
-    }
-
-    #[test]
-    fn close_drains_then_errors() {
-        let r = Ring::with_capacity(4);
-        r.push(1).unwrap();
-        r.push(2).unwrap();
-        r.close();
-        assert_eq!(r.push(3).unwrap_err(), RingError::Closed);
-        assert_eq!(r.pop(None).unwrap(), 1);
-        assert_eq!(r.pop(None).unwrap(), 2);
-        assert_eq!(r.pop(None).unwrap_err(), RingError::Closed);
-    }
-
-    #[test]
-    fn close_wakes_blocked_consumer() {
-        let r: Arc<Ring<u8>> = Arc::new(Ring::with_capacity(2));
-        let r2 = r.clone();
-        let t = thread::spawn(move || r2.pop(None));
-        thread::sleep(Duration::from_millis(20));
-        r.close();
-        assert_eq!(t.join().unwrap().unwrap_err(), RingError::Closed);
-    }
-
-    #[test]
-    fn poison_discards_and_unblocks_producer() {
-        let r = Arc::new(Ring::with_capacity(1));
-        r.push(1u32).unwrap();
-        let r2 = r.clone();
-        let t = thread::spawn(move || r2.push(2));
-        thread::sleep(Duration::from_millis(20));
-        r.poison();
-        assert_eq!(t.join().unwrap().unwrap_err(), RingError::Poisoned);
-        assert_eq!(r.pop(None).unwrap_err(), RingError::Poisoned);
-        assert!(r.is_poisoned());
-        assert_eq!(r.len(), 0);
-    }
-
-    #[test]
-    fn peek_does_not_consume() {
-        let r = Ring::with_capacity(4);
-        r.push("a").unwrap();
-        r.push("b").unwrap();
-        assert_eq!(r.peek(0, None).unwrap(), "a");
-        assert_eq!(r.peek(1, None).unwrap(), "b");
-        assert_eq!(r.len(), 2);
-        assert_eq!(r.pop(None).unwrap(), "a");
-    }
-
-    #[test]
-    fn peek_blocks_for_depth() {
-        let r = Arc::new(Ring::with_capacity(4));
-        r.push(1u32).unwrap();
-        let r2 = r.clone();
-        let t = thread::spawn(move || r2.peek(1, None).unwrap());
-        thread::sleep(Duration::from_millis(20));
-        r.push(2).unwrap();
-        assert_eq!(t.join().unwrap(), 2);
-    }
-
-    #[test]
-    fn peek_closed_before_depth_errors() {
-        let r = Ring::with_capacity(4);
-        r.push(1u32).unwrap();
-        r.close();
-        assert_eq!(r.peek(0, None).unwrap(), 1);
-        assert_eq!(r.peek(1, None).unwrap_err(), RingError::Closed);
-    }
-
-    #[test]
-    fn stats_track_pushes_pops_and_high_water() {
-        let r = Ring::with_capacity(8);
-        for i in 0..6 {
-            r.push(i).unwrap();
-        }
-        for _ in 0..2 {
-            r.pop(None).unwrap();
-        }
-        let s = r.stats();
-        assert_eq!(s.pushed, 6);
-        assert_eq!(s.popped, 2);
-        assert_eq!(s.high_water, 6);
-    }
-
-    #[test]
-    fn wait_empty_rendezvous() {
-        let r = Arc::new(Ring::with_capacity(4));
-        r.push(1u32).unwrap();
-        assert_eq!(
-            r.wait_empty(Some(Duration::from_millis(10))).unwrap_err(),
-            RingError::TimedOut
-        );
-        let r2 = r.clone();
-        let t = thread::spawn(move || r2.wait_empty(None));
-        thread::sleep(Duration::from_millis(20));
-        assert_eq!(r.pop(None).unwrap(), 1);
-        t.join().unwrap().unwrap();
-        // Poison unblocks waiters with an error.
-        r.push(2).unwrap();
-        let r3 = r.clone();
-        let t = thread::spawn(move || r3.wait_empty(None));
-        thread::sleep(Duration::from_millis(20));
-        r.poison();
-        assert_eq!(t.join().unwrap().unwrap_err(), RingError::Poisoned);
-    }
-
-    #[test]
-    fn concurrent_producer_consumer_preserves_order_and_count() {
-        const N: u64 = 10_000;
-        let r = Arc::new(Ring::with_capacity(64));
-        let producer = {
-            let r = r.clone();
-            thread::spawn(move || {
-                for i in 0..N {
-                    r.push(i).unwrap();
-                }
-                r.close();
-            })
-        };
-        let consumer = {
-            let r = r.clone();
-            thread::spawn(move || {
-                let mut expected = 0u64;
-                while let Ok(v) = r.pop(None) {
-                    assert_eq!(v, expected);
-                    expected += 1;
-                }
-                expected
-            })
-        };
-        producer.join().unwrap();
-        assert_eq!(consumer.join().unwrap(), N);
-        let s = r.stats();
-        assert_eq!(s.pushed, N);
-        assert_eq!(s.popped, N);
-        assert!(s.high_water <= 64);
-    }
 }

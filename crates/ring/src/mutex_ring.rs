@@ -1,0 +1,392 @@
+//! The original mutex+condvar ring, kept as the measured baseline.
+//!
+//! This is the implementation the repo shipped with before the
+//! lock-free rewrite: a `Mutex<VecDeque>` plus two condvars. Every
+//! leader push contends with every follower pop on the one lock —
+//! exactly the replication-channel synchronization that dominates MVX
+//! overhead. `ring_bench` quotes the lock-free [`crate::Ring`]'s
+//! speedup against this type; it is not used on any production path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::{RingError, RingStats};
+
+#[derive(Debug)]
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    poisoned: bool,
+    stats: RingStats,
+}
+
+/// A bounded, blocking, FIFO ring buffer guarded by a single mutex.
+///
+/// Semantically interchangeable with [`crate::Ring`] for one consumer;
+/// kept solely as the baseline the benchmarks measure against.
+#[derive(Debug)]
+pub struct MutexRing<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    /// Monotone `pop` call counter (drives the stall schedule).
+    pops: AtomicU64,
+    /// Stall every Nth successful `pop`; 0 disables the perturbation.
+    pop_stall_every: AtomicU64,
+    /// Length of each injected consumer stall, in nanoseconds.
+    pop_stall_nanos: AtomicU64,
+}
+
+impl<T> MutexRing<T> {
+    /// Creates a ring holding at most `capacity` records.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (a zero ring cannot make progress —
+    /// use the lockstep mode in `mvedsua-mve` for rendezvous semantics).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        MutexRing {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(capacity.min(1 << 16)),
+                closed: false,
+                poisoned: false,
+                stats: RingStats::default(),
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+            pops: AtomicU64::new(0),
+            pop_stall_every: AtomicU64::new(0),
+            pop_stall_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Perturbation hook for the chaos harness: every `every`-th
+    /// successful `pop` sleeps for `stall` first, modelling a descheduled
+    /// or lagging consumer. `every == 0` disables it. Only timing shifts;
+    /// FIFO order and delivery are untouched.
+    pub fn set_pop_stall(&self, every: u64, stall: Duration) {
+        self.pop_stall_nanos
+            .store(stall.as_nanos() as u64, Ordering::Relaxed);
+        self.pop_stall_every.store(every, Ordering::Relaxed);
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// True when no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the usage counters.
+    pub fn stats(&self) -> RingStats {
+        self.state.lock().stats
+    }
+
+    /// Appends a record, blocking while the ring is full.
+    ///
+    /// # Errors
+    /// [`RingError::Poisoned`] if the consumer is gone, or
+    /// [`RingError::Closed`] if `close` was already called.
+    pub fn push(&self, item: T) -> Result<(), RingError> {
+        let mut st = self.state.lock();
+        loop {
+            if st.poisoned {
+                return Err(RingError::Poisoned);
+            }
+            if st.closed {
+                return Err(RingError::Closed);
+            }
+            if st.queue.len() < self.capacity {
+                st.queue.push_back(item);
+                st.stats.pushed += 1;
+                let occupancy = st.queue.len();
+                if occupancy > st.stats.high_water {
+                    st.stats.high_water = occupancy;
+                }
+                self.not_empty.notify_all();
+                return Ok(());
+            }
+            st.stats.producer_stalls += 1;
+            let begin = Instant::now();
+            self.not_full.wait(&mut st);
+            st.stats.producer_stall_nanos += begin.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Appends a record if there is room, without blocking.
+    ///
+    /// # Errors
+    /// Also [`RingError::TimedOut`] when the ring is full.
+    pub fn try_push(&self, item: T) -> Result<(), RingError> {
+        let mut st = self.state.lock();
+        if st.poisoned {
+            return Err(RingError::Poisoned);
+        }
+        if st.closed {
+            return Err(RingError::Closed);
+        }
+        if st.queue.len() >= self.capacity {
+            return Err(RingError::TimedOut);
+        }
+        st.queue.push_back(item);
+        st.stats.pushed += 1;
+        let occupancy = st.queue.len();
+        if occupancy > st.stats.high_water {
+            st.stats.high_water = occupancy;
+        }
+        self.not_empty.notify_all();
+        Ok(())
+    }
+
+    /// Removes and returns the oldest record, blocking while empty.
+    /// With `timeout = None` the wait is unbounded.
+    ///
+    /// # Errors
+    /// [`RingError::Closed`] once the ring is closed *and* drained;
+    /// [`RingError::TimedOut`] if `timeout` elapses;
+    /// [`RingError::Poisoned`] if the ring was poisoned.
+    pub fn pop(&self, timeout: Option<Duration>) -> Result<T, RingError> {
+        let call_index = self.pops.fetch_add(1, Ordering::Relaxed);
+        let every = self.pop_stall_every.load(Ordering::Relaxed);
+        if every > 0 && call_index.is_multiple_of(every) {
+            let stall = Duration::from_nanos(self.pop_stall_nanos.load(Ordering::Relaxed));
+            if !stall.is_zero() {
+                std::thread::sleep(stall);
+            }
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                st.stats.popped += 1;
+                self.not_full.notify_all();
+                return Ok(item);
+            }
+            if st.poisoned {
+                return Err(RingError::Poisoned);
+            }
+            if st.closed {
+                return Err(RingError::Closed);
+            }
+            match deadline {
+                None => self.not_empty.wait(&mut st),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(RingError::TimedOut);
+                    }
+                    let _ = self.not_empty.wait_for(&mut st, d - now);
+                }
+            }
+        }
+    }
+
+    /// Marks the producer side finished: consumers drain the remaining
+    /// records and then see [`RingError::Closed`]. Idempotent.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Marks the consumer side gone: producers (blocked or future) fail
+    /// with [`RingError::Poisoned`], and buffered records are discarded.
+    /// Used on rollback, when the follower is terminated. Idempotent.
+    pub fn poison(&self) {
+        let mut st = self.state.lock();
+        st.poisoned = true;
+        st.queue.clear();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Blocks until the ring drains empty (the consumer caught up), the
+    /// ring dies, or `timeout` elapses. Lockstep execution (the MUC/Mx
+    /// baselines) rendezvouses on this after every push.
+    ///
+    /// # Errors
+    /// [`RingError::Poisoned`] if poisoned, [`RingError::TimedOut`] on
+    /// timeout. A closed ring that drains still returns `Ok`.
+    pub fn wait_empty(&self, timeout: Option<Duration>) -> Result<(), RingError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut st = self.state.lock();
+        loop {
+            if st.poisoned {
+                return Err(RingError::Poisoned);
+            }
+            if st.queue.is_empty() {
+                return Ok(());
+            }
+            match deadline {
+                None => self.not_full.wait(&mut st),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(RingError::TimedOut);
+                    }
+                    let _ = self.not_full.wait_for(&mut st, d - now);
+                }
+            }
+        }
+    }
+
+    /// True once [`MutexRing::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// True once [`MutexRing::poison`] has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.state.lock().poisoned
+    }
+}
+
+impl<T: Clone> MutexRing<T> {
+    /// Returns a clone of the record at offset `index` from the front,
+    /// blocking until the ring holds at least `index + 1` records.
+    ///
+    /// Rewrite rules that match multi-call patterns (e.g. Figure 5's
+    /// `read(...), write(...)` pair) peek ahead before consuming.
+    ///
+    /// # Errors
+    /// Same conditions as [`MutexRing::pop`]; `Closed` here means the
+    /// ring closed before enough records arrived.
+    pub fn peek(&self, index: usize, timeout: Option<Duration>) -> Result<T, RingError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.queue.get(index) {
+                return Ok(item.clone());
+            }
+            if st.poisoned {
+                return Err(RingError::Poisoned);
+            }
+            if st.closed {
+                return Err(RingError::Closed);
+            }
+            match deadline {
+                None => self.not_empty.wait(&mut st),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(RingError::TimedOut);
+                    }
+                    let _ = self.not_empty.wait_for(&mut st, d - now);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let r = MutexRing::with_capacity(8);
+        for i in 0..5 {
+            r.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(r.pop(None).unwrap(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = MutexRing::<u8>::with_capacity(0);
+    }
+
+    #[test]
+    fn push_blocks_when_full_until_pop() {
+        let r = Arc::new(MutexRing::with_capacity(1));
+        r.push(1u32).unwrap();
+        let r2 = r.clone();
+        let t = thread::spawn(move || {
+            r2.push(2).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(r.len(), 1, "producer is blocked");
+        assert_eq!(r.pop(None).unwrap(), 1);
+        t.join().unwrap();
+        assert_eq!(r.pop(None).unwrap(), 2);
+        assert!(r.stats().producer_stalls >= 1);
+        assert!(r.stats().producer_stall_nanos > 0);
+    }
+
+    #[test]
+    fn close_drains_then_errors() {
+        let r = MutexRing::with_capacity(4);
+        r.push(1).unwrap();
+        r.push(2).unwrap();
+        r.close();
+        assert_eq!(r.push(3).unwrap_err(), RingError::Closed);
+        assert_eq!(r.pop(None).unwrap(), 1);
+        assert_eq!(r.pop(None).unwrap(), 2);
+        assert_eq!(r.pop(None).unwrap_err(), RingError::Closed);
+    }
+
+    #[test]
+    fn poison_discards_and_unblocks_producer() {
+        let r = Arc::new(MutexRing::with_capacity(1));
+        r.push(1u32).unwrap();
+        let r2 = r.clone();
+        let t = thread::spawn(move || r2.push(2));
+        thread::sleep(Duration::from_millis(20));
+        r.poison();
+        assert_eq!(t.join().unwrap().unwrap_err(), RingError::Poisoned);
+        assert_eq!(r.pop(None).unwrap_err(), RingError::Poisoned);
+        assert!(r.is_poisoned());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_preserves_order_and_count() {
+        const N: u64 = 10_000;
+        let r = Arc::new(MutexRing::with_capacity(64));
+        let producer = {
+            let r = r.clone();
+            thread::spawn(move || {
+                for i in 0..N {
+                    r.push(i).unwrap();
+                }
+                r.close();
+            })
+        };
+        let consumer = {
+            let r = r.clone();
+            thread::spawn(move || {
+                let mut expected = 0u64;
+                while let Ok(v) = r.pop(None) {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                }
+                expected
+            })
+        };
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), N);
+        let s = r.stats();
+        assert_eq!(s.pushed, N);
+        assert_eq!(s.popped, N);
+        assert!(s.high_water <= 64);
+    }
+}

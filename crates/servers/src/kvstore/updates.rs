@@ -143,7 +143,9 @@ pub fn registry(port: u16) -> Arc<VersionRegistry> {
         move || Box::new(KvV1::new(port)),
         |state| {
             Ok(Box::new(KvV1::from_state(
-                state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                state
+                    .downcast()
+                    .map_err(|_| UpdateError::StateTypeMismatch)?,
             )))
         },
     ));
@@ -152,7 +154,9 @@ pub fn registry(port: u16) -> Arc<VersionRegistry> {
         move || Box::new(KvV2::new(port)),
         |state| {
             Ok(Box::new(KvV2::from_state(
-                state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                state
+                    .downcast()
+                    .map_err(|_| UpdateError::StateTypeMismatch)?,
             )))
         },
     ));

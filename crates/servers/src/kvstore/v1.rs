@@ -107,7 +107,10 @@ mod tests {
         let mut table = HashMap::new();
         assert_eq!(KvV1::respond("PUT balance 1000", &mut table), "OK\r\n");
         assert_eq!(KvV1::respond("GET balance", &mut table), "VAL 1000\r\n");
-        assert_eq!(KvV1::respond("GET missing", &mut table), "ERR not-found\r\n");
+        assert_eq!(
+            KvV1::respond("GET missing", &mut table),
+            "ERR not-found\r\n"
+        );
         assert_eq!(KvV1::respond("TYPE balance", &mut table), "ERR bad-cmd\r\n");
         assert_eq!(
             KvV1::respond("PUT-number balance 1", &mut table),
@@ -146,6 +149,13 @@ mod tests {
             }
         }
         assert_eq!(got, b"OK\r\nVAL 1\r\n");
-        assert_eq!(app.snapshot().downcast_ref::<V1State>().unwrap().table.len(), 1);
+        assert_eq!(
+            app.snapshot()
+                .downcast_ref::<V1State>()
+                .unwrap()
+                .table
+                .len(),
+            1
+        );
     }
 }

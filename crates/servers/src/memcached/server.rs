@@ -108,8 +108,7 @@ impl McApp {
         let parts: Vec<&str> = line.split_whitespace().collect();
         match parts.as_slice() {
             ["set" | "add", key, flags, _exptime, bytes] => {
-                let (Ok(flags), Ok(bytes)) = (flags.parse::<u32>(), bytes.parse::<usize>())
-                else {
+                let (Ok(flags), Ok(bytes)) = (flags.parse::<u32>(), bytes.parse::<usize>()) else {
                     return (b"CLIENT_ERROR bad command line format\r\n".to_vec(), false);
                 };
                 self.state.pending.insert(
@@ -125,12 +124,8 @@ impl McApp {
             }
             ["get", key] => match self.state.store.get(*key) {
                 Some(entry) => {
-                    let mut out = format!(
-                        "VALUE {key} {} {}\r\n",
-                        entry.flags,
-                        entry.data.len()
-                    )
-                    .into_bytes();
+                    let mut out = format!("VALUE {key} {} {}\r\n", entry.flags, entry.data.len())
+                        .into_bytes();
                     out.extend_from_slice(&entry.data);
                     out.extend_from_slice(b"\r\nEND\r\n");
                     (out, false)
@@ -146,7 +141,10 @@ impl McApp {
             }
             ["incr", key, by] => {
                 let Ok(by) = by.parse::<u64>() else {
-                    return (b"CLIENT_ERROR invalid numeric delta argument\r\n".to_vec(), false);
+                    return (
+                        b"CLIENT_ERROR invalid numeric delta argument\r\n".to_vec(),
+                        false,
+                    );
                 };
                 match self.state.store.get_mut(*key) {
                     Some(entry) => {

@@ -24,7 +24,7 @@ pub fn transformer(plan: FaultPlan) -> Arc<dyn StateTransformer> {
             if let Some(XformFault::FailCleanly) = plan.xform {
                 return Err(UpdateError::XformFailed(
                     "injected transformer failure".into(),
-                ))
+                ));
             }
             let store: HashMap<String, McEntry> = match plan.xform {
                 // Forgot to copy the cache across.
@@ -79,7 +79,9 @@ pub fn registry(port: u16, workers: usize) -> Arc<VersionRegistry> {
             move |state| {
                 Ok(Box::new(McApp::from_state(
                     v_resume.clone(),
-                    state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                    state
+                        .downcast()
+                        .map_err(|_| UpdateError::StateTypeMismatch)?,
                 )))
             },
         ));

@@ -172,26 +172,24 @@ impl NetCore {
                         Err(_) => break,
                     }
                 },
-                Tok::Conn => {
-                    match os.read_timeout(fd, 4096, 20) {
-                        Ok(data) if data.is_empty() => {
-                            self.drop_conn(os, fd);
-                            events.push(NetEvent::Closed(fd));
-                        }
-                        Ok(data) => {
-                            let io = self.conns.entry(fd).or_default();
-                            io.feed(&data);
-                            while let Some(line) = io.next_line() {
-                                events.push(NetEvent::Line(fd, line));
-                            }
-                        }
-                        Err(Errno::TimedOut) => {}
-                        Err(_) => {
-                            self.drop_conn(os, fd);
-                            events.push(NetEvent::Closed(fd));
+                Tok::Conn => match os.read_timeout(fd, 4096, 20) {
+                    Ok(data) if data.is_empty() => {
+                        self.drop_conn(os, fd);
+                        events.push(NetEvent::Closed(fd));
+                    }
+                    Ok(data) => {
+                        let io = self.conns.entry(fd).or_default();
+                        io.feed(&data);
+                        while let Some(line) = io.next_line() {
+                            events.push(NetEvent::Line(fd, line));
                         }
                     }
-                }
+                    Err(Errno::TimedOut) => {}
+                    Err(_) => {
+                        self.drop_conn(os, fd);
+                        events.push(NetEvent::Closed(fd));
+                    }
+                },
             }
         }
         Ok(events)
@@ -342,9 +340,15 @@ mod tests {
                 break;
             }
         }
-        let before = kernel.stats.syscalls.load(std::sync::atomic::Ordering::Relaxed);
+        let before = kernel
+            .stats
+            .syscalls
+            .load(std::sync::atomic::Ordering::Relaxed);
         core.send_chunked(&mut os, conn.unwrap(), &[7u8; 10_000], 1024);
-        let after = kernel.stats.syscalls.load(std::sync::atomic::Ordering::Relaxed);
+        let after = kernel
+            .stats
+            .syscalls
+            .load(std::sync::atomic::Ordering::Relaxed);
         assert!(after - before >= 10, "10 KB in 1 KB chunks = 10 writes");
         let mut received = Vec::new();
         while received.len() < 10_000 {

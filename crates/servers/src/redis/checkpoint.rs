@@ -84,8 +84,7 @@ impl<'a> Reader<'a> {
     fn string(&mut self) -> Result<String, CorruptCheckpoint> {
         let len = self.u32()? as usize;
         let raw = self.take(len)?;
-        String::from_utf8(raw.to_vec())
-            .map_err(|_| CorruptCheckpoint("non-utf8 string".into()))
+        String::from_utf8(raw.to_vec()).map_err(|_| CorruptCheckpoint("non-utf8 string".into()))
     }
 }
 

@@ -28,5 +28,8 @@ mod versions;
 
 pub use server::{RedisApp, RedisState};
 pub use store::{RVal, Store, WrongType};
-pub use updates::{registry, transformer_200_to_201, transformer_200_to_201_parallel, update_package, REORDER_FWD_SRC, REORDER_REV_SRC};
+pub use updates::{
+    registry, transformer_200_to_201, transformer_200_to_201_parallel, update_package,
+    REORDER_FWD_SRC, REORDER_REV_SRC,
+};
 pub use versions::{RedisFeatures, RedisOptions, VERSIONS};

@@ -207,7 +207,10 @@ mod tests {
         assert_eq!(run("DEL k", &mut s, "2.0.0"), ":1\r\n");
         assert_eq!(run("DEL k", &mut s, "2.0.0"), ":0\r\n");
         assert_eq!(run("DBSIZE", &mut s, "2.0.0"), ":0\r\n");
-        assert_eq!(run("BOGUS", &mut s, "2.0.0"), "-ERR unknown command 'BOGUS'\r\n");
+        assert_eq!(
+            run("BOGUS", &mut s, "2.0.0"),
+            "-ERR unknown command 'BOGUS'\r\n"
+        );
         assert_eq!(run("", &mut s, "2.0.0"), "-ERR empty command\r\n");
     }
 
@@ -261,7 +264,10 @@ mod tests {
             "2.0.1 wraps"
         );
         s.set("n", &i64::MAX.to_string());
-        assert!(run("INCR n", &mut s, "2.0.2").starts_with("-ERR"), "2.0.2 checks");
+        assert!(
+            run("INCR n", &mut s, "2.0.2").starts_with("-ERR"),
+            "2.0.2 checks"
+        );
     }
 
     #[test]

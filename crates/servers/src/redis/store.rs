@@ -57,7 +57,8 @@ impl Store {
 
     /// `SET key value`.
     pub fn set(&mut self, key: &str, value: &str) {
-        self.map.insert(key.to_string(), RVal::Str(value.to_string()));
+        self.map
+            .insert(key.to_string(), RVal::Str(value.to_string()));
     }
 
     /// `GET key`: `Ok(Some)` for a string, `Ok(None)` for a missing key.
@@ -101,7 +102,8 @@ impl Store {
         } else {
             current.wrapping_add(1)
         };
-        self.map.insert(key.to_string(), RVal::Str(next.to_string()));
+        self.map
+            .insert(key.to_string(), RVal::Str(next.to_string()));
         IncrOutcome::Value(next)
     }
 
@@ -206,10 +208,7 @@ mod tests {
         assert!(!s.hset("h", "f1", "b").unwrap());
         assert_eq!(s.hget("h", "f1").unwrap(), Some("b"));
         assert_eq!(s.hget("h", "nope").unwrap(), None);
-        assert_eq!(
-            s.hmget("h", &["f1", "zz"]).unwrap(),
-            vec![Some("b"), None]
-        );
+        assert_eq!(s.hmget("h", &["f1", "zz"]).unwrap(), vec![Some("b"), None]);
         assert_eq!(s.hmget("missing", &["f"]).unwrap(), vec![None]);
     }
 

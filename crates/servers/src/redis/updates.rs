@@ -166,7 +166,9 @@ pub fn registry(options: &RedisOptions) -> Arc<VersionRegistry> {
                 Ok(Box::new(RedisApp::from_state(
                     v_resume.clone(),
                     &opts_resume,
-                    state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                    state
+                        .downcast()
+                        .map_err(|_| UpdateError::StateTypeMismatch)?,
                 )))
             },
         ));
@@ -176,7 +178,11 @@ pub fn registry(options: &RedisOptions) -> Arc<VersionRegistry> {
     r.register_update(UpdateSpec::new("2.0.2", "2.0.3", migrate_net_only()));
     // Same-version "update" used by benchmarks that only need the fork
     // and catch-up machinery.
-    r.register_update(UpdateSpec::new("2.0.0", "2.0.0", Arc::new(IdentityTransformer)));
+    r.register_update(UpdateSpec::new(
+        "2.0.0",
+        "2.0.0",
+        Arc::new(IdentityTransformer),
+    ));
     Arc::new(r)
 }
 

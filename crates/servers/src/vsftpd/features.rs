@@ -59,20 +59,174 @@ macro_rules! release {
 /// consecutive rows are what generate each pair's rewrite rules; they
 /// were chosen so the generated counts reproduce Table 1.
 pub const VERSIONS: &[VsftpdFeatures] = &[
-    release!("1.1.0", BANNER_1, SYST_1, pwd=false, stou=false, feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
-    release!("1.1.1", BANNER_1, SYST_1, pwd=false, stou=false, feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
-    release!("1.1.2", BANNER_2, SYST_2, pwd=false, stou=false, feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
-    release!("1.1.3", BANNER_2, SYST_2, pwd=false, stou=false, feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
-    release!("1.2.0", BANNER_2, SYST_2, pwd=true,  stou=true,  feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
-    release!("1.2.1", BANNER_2, SYST_2, pwd=true,  stou=true,  feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
-    release!("1.2.2", BANNER_2, SYST_2, pwd=true,  stou=true,  feat=false, mdtm=false, rest=false, QUIT_1, HELP_1),
-    release!("2.0.0", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=false, rest=false, QUIT_1, HELP_1),
-    release!("2.0.1", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=false, rest=false, QUIT_1, HELP_1),
-    release!("2.0.2", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=true,  rest=false, QUIT_1, HELP_1),
-    release!("2.0.3", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=true,  rest=false, QUIT_2, HELP_1),
-    release!("2.0.4", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=true,  rest=true,  QUIT_2, HELP_1),
-    release!("2.0.5", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=true,  rest=true,  QUIT_2, HELP_2),
-    release!("2.0.6", BANNER_3, SYST_3, pwd=true,  stou=true,  feat=true,  mdtm=true,  rest=true,  QUIT_2, HELP_2),
+    release!(
+        "1.1.0",
+        BANNER_1,
+        SYST_1,
+        pwd = false,
+        stou = false,
+        feat = false,
+        mdtm = false,
+        rest = false,
+        QUIT_1,
+        HELP_1
+    ),
+    release!(
+        "1.1.1",
+        BANNER_1,
+        SYST_1,
+        pwd = false,
+        stou = false,
+        feat = false,
+        mdtm = false,
+        rest = false,
+        QUIT_1,
+        HELP_1
+    ),
+    release!(
+        "1.1.2",
+        BANNER_2,
+        SYST_2,
+        pwd = false,
+        stou = false,
+        feat = false,
+        mdtm = false,
+        rest = false,
+        QUIT_1,
+        HELP_1
+    ),
+    release!(
+        "1.1.3",
+        BANNER_2,
+        SYST_2,
+        pwd = false,
+        stou = false,
+        feat = false,
+        mdtm = false,
+        rest = false,
+        QUIT_1,
+        HELP_1
+    ),
+    release!(
+        "1.2.0",
+        BANNER_2,
+        SYST_2,
+        pwd = true,
+        stou = true,
+        feat = false,
+        mdtm = false,
+        rest = false,
+        QUIT_1,
+        HELP_1
+    ),
+    release!(
+        "1.2.1",
+        BANNER_2,
+        SYST_2,
+        pwd = true,
+        stou = true,
+        feat = false,
+        mdtm = false,
+        rest = false,
+        QUIT_1,
+        HELP_1
+    ),
+    release!(
+        "1.2.2",
+        BANNER_2,
+        SYST_2,
+        pwd = true,
+        stou = true,
+        feat = false,
+        mdtm = false,
+        rest = false,
+        QUIT_1,
+        HELP_1
+    ),
+    release!(
+        "2.0.0",
+        BANNER_3,
+        SYST_3,
+        pwd = true,
+        stou = true,
+        feat = true,
+        mdtm = false,
+        rest = false,
+        QUIT_1,
+        HELP_1
+    ),
+    release!(
+        "2.0.1",
+        BANNER_3,
+        SYST_3,
+        pwd = true,
+        stou = true,
+        feat = true,
+        mdtm = false,
+        rest = false,
+        QUIT_1,
+        HELP_1
+    ),
+    release!(
+        "2.0.2",
+        BANNER_3,
+        SYST_3,
+        pwd = true,
+        stou = true,
+        feat = true,
+        mdtm = true,
+        rest = false,
+        QUIT_1,
+        HELP_1
+    ),
+    release!(
+        "2.0.3",
+        BANNER_3,
+        SYST_3,
+        pwd = true,
+        stou = true,
+        feat = true,
+        mdtm = true,
+        rest = false,
+        QUIT_2,
+        HELP_1
+    ),
+    release!(
+        "2.0.4",
+        BANNER_3,
+        SYST_3,
+        pwd = true,
+        stou = true,
+        feat = true,
+        mdtm = true,
+        rest = true,
+        QUIT_2,
+        HELP_1
+    ),
+    release!(
+        "2.0.5",
+        BANNER_3,
+        SYST_3,
+        pwd = true,
+        stou = true,
+        feat = true,
+        mdtm = true,
+        rest = true,
+        QUIT_2,
+        HELP_2
+    ),
+    release!(
+        "2.0.6",
+        BANNER_3,
+        SYST_3,
+        pwd = true,
+        stou = true,
+        feat = true,
+        mdtm = true,
+        rest = true,
+        QUIT_2,
+        HELP_2
+    ),
 ];
 
 impl VsftpdFeatures {

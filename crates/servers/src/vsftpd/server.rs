@@ -151,23 +151,21 @@ impl VsftpdApp {
                     _ => reply(self, os, "550 Failed to change directory.\r\n"),
                 }
             }
-            "LIST" => {
-                match os.fs_list(&cwd) {
-                    Ok(names) => {
-                        reply(self, os, "150 Here comes the directory listing.\r\n");
-                        let mut body = String::new();
-                        for name in names {
-                            body.push_str(&name);
-                            body.push_str("\r\n");
-                        }
-                        if !body.is_empty() {
-                            reply(self, os, &body);
-                        }
-                        reply(self, os, "226 Directory send OK.\r\n");
+            "LIST" => match os.fs_list(&cwd) {
+                Ok(names) => {
+                    reply(self, os, "150 Here comes the directory listing.\r\n");
+                    let mut body = String::new();
+                    for name in names {
+                        body.push_str(&name);
+                        body.push_str("\r\n");
                     }
-                    Err(_) => reply(self, os, "550 Failed to list directory.\r\n"),
+                    if !body.is_empty() {
+                        reply(self, os, &body);
+                    }
+                    reply(self, os, "226 Directory send OK.\r\n");
                 }
-            }
+                Err(_) => reply(self, os, "550 Failed to list directory.\r\n"),
+            },
             "SIZE" => {
                 let target = resolve(&cwd, &arg);
                 match os.fs_stat(&target) {
@@ -315,7 +313,10 @@ mod tests {
         let kernel = VirtualKernel::new();
         kernel.fs().write_file("/hello.txt", b"hello ftp").unwrap();
         kernel.fs().mkdir("/pub").unwrap();
-        kernel.fs().write_file("/pub/data.bin", &[7u8; 20_000]).unwrap();
+        kernel
+            .fs()
+            .write_file("/pub/data.bin", &[7u8; 20_000])
+            .unwrap();
         let mut os = DirectOs::new(kernel.clone());
         let mut app = VsftpdApp::new(dsu::v(version), port);
         let _ = app.step(&mut os);
@@ -378,7 +379,10 @@ mod tests {
             b"530 Please login with USER and PASS.\r\n"
         );
         send(&mut r, "PASS nopw");
-        assert_eq!(recv_until(&mut r, b"\r\n"), b"503 Login with USER first.\r\n");
+        assert_eq!(
+            recv_until(&mut r, b"\r\n"),
+            b"503 Login with USER first.\r\n"
+        );
     }
 
     #[test]

@@ -127,10 +127,18 @@ pub fn rev_rules_src(from: &VsftpdFeatures, to: &VsftpdFeatures) -> String {
         );
     }
     if from.quit_reply != to.quit_reply {
-        src.push_str(&wording_rule("quit_text_rev", to.quit_reply, from.quit_reply));
+        src.push_str(&wording_rule(
+            "quit_text_rev",
+            to.quit_reply,
+            from.quit_reply,
+        ));
     }
     if from.help_reply != to.help_reply {
-        src.push_str(&wording_rule("help_text_rev", to.help_reply, from.help_reply));
+        src.push_str(&wording_rule(
+            "help_text_rev",
+            to.help_reply,
+            from.help_reply,
+        ));
     }
     for cmd in to.added_commands(from) {
         let (name, pattern) = match cmd {
@@ -140,7 +148,10 @@ pub fn rev_rules_src(from: &VsftpdFeatures, to: &VsftpdFeatures) -> String {
                 "read(fd, s, n), open(p, m, fd2), close(fd3), write(fd, r, k)",
             ),
             // MDTM: read, stat, reply write.
-            "MDTM" => ("mdtm_tolerate", "read(fd, s, n), stat(p, k2, sz), write(fd, r, k)"),
+            "MDTM" => (
+                "mdtm_tolerate",
+                "read(fd, s, n), stat(p, k2, sz), write(fd, r, k)",
+            ),
             // FEAT / REST: read, reply write.
             _ => ("simple_tolerate", "read(fd, s, n), write(fd, r, k)"),
         };
@@ -189,7 +200,9 @@ pub fn registry(port: u16) -> Arc<VersionRegistry> {
             move |state| {
                 Ok(Box::new(VsftpdApp::from_state(
                     v_resume.clone(),
-                    state.downcast().map_err(|_| UpdateError::StateTypeMismatch)?,
+                    state
+                        .downcast()
+                        .map_err(|_| UpdateError::StateTypeMismatch)?,
                 )))
             },
         ));
@@ -207,8 +220,8 @@ pub fn registry(port: u16) -> Arc<VersionRegistry> {
 pub fn update_package(from: &Version, to: &Version) -> UpdatePackage {
     let from_f = VsftpdFeatures::for_version(from)
         .unwrap_or_else(|| panic!("unknown vsftpd version {from}"));
-    let to_f = VsftpdFeatures::for_version(to)
-        .unwrap_or_else(|| panic!("unknown vsftpd version {to}"));
+    let to_f =
+        VsftpdFeatures::for_version(to).unwrap_or_else(|| panic!("unknown vsftpd version {to}"));
     UpdatePackage::new(to.clone())
         .with_fwd_rules(fwd_rules_src(from_f, to_f))
         .with_rev_rules(rev_rules_src(from_f, to_f))

@@ -32,11 +32,11 @@ fn arb_key() -> impl Strategy<Value = String> {
 fn arb_cmd() -> impl Strategy<Value = KvCmd> {
     prop_oneof![
         (arb_key(), "[a-z0-9]{1,8}").prop_map(|(k, v)| KvCmd::Put(k, v)),
-        (arb_key(), "[a-z0-9]{1,8}", prop_oneof![
-            Just("string"),
-            Just("number"),
-            Just("date")
-        ])
+        (
+            arb_key(),
+            "[a-z0-9]{1,8}",
+            prop_oneof![Just("string"), Just("number"), Just("date")]
+        )
             .prop_map(|(k, v, t)| KvCmd::PutTyped(k, v, t)),
         arb_key().prop_map(KvCmd::Get),
         arb_key().prop_map(KvCmd::Type),
@@ -135,8 +135,7 @@ fn arb_redis_cmd() -> impl Strategy<Value = RedisCmd> {
         key.clone().prop_map(RedisCmd::Del),
         key.clone().prop_map(RedisCmd::Exists),
         key.clone().prop_map(RedisCmd::Incr),
-        (key.clone(), field.clone(), "[a-z0-9]{1,6}")
-            .prop_map(|(k, f, v)| RedisCmd::Hset(k, f, v)),
+        (key.clone(), field.clone(), "[a-z0-9]{1,6}").prop_map(|(k, f, v)| RedisCmd::Hset(k, f, v)),
         (key, field).prop_map(|(k, f)| RedisCmd::Hget(k, f)),
         Just(RedisCmd::Dbsize),
     ]

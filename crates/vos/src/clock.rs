@@ -32,8 +32,11 @@ pub struct Clock {
     jitter_max: AtomicU64,
     /// Callbacks invoked with the post-advance timestamp. Callbacks must
     /// not call back into `advance`.
-    on_advance: Mutex<Vec<Box<dyn Fn(u64) + Send + Sync>>>,
+    on_advance: Mutex<Vec<AdvanceCallback>>,
 }
+
+/// Callback invoked with the post-advance timestamp.
+type AdvanceCallback = Box<dyn Fn(u64) + Send + Sync>;
 
 impl Clock {
     /// Creates a clock whose epoch is "now" and which tracks real time.
@@ -84,7 +87,10 @@ impl Clock {
             let state = self
                 .jitter_state
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
-                    Some(s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+                    Some(
+                        s.wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407),
+                    )
                 })
                 .unwrap_or(0);
             step = step.saturating_add(state % max);
@@ -164,10 +170,12 @@ mod tests {
         let run = |seed| {
             let c = Clock::new_virtual();
             c.set_advance_jitter(seed, 100);
-            (0..50).map(|_| {
-                c.advance(1_000);
-                c.now_nanos()
-            }).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| {
+                    c.advance(1_000);
+                    c.now_nanos()
+                })
+                .collect::<Vec<_>>()
         };
         let a = run(7);
         let b = run(7);

@@ -167,9 +167,7 @@ impl MemFs {
 
     /// Renames `from` to `to` (both full paths; `to`'s parent must exist).
     pub fn rename(&self, from: &str, to: &str) -> OsResult<()> {
-        let node = self.with_parent(from, |dir, name| {
-            dir.remove(name).ok_or(Errno::NoEnt)
-        })?;
+        let node = self.with_parent(from, |dir, name| dir.remove(name).ok_or(Errno::NoEnt))?;
         let put_back = |node: Node| {
             // Restore on failure so rename is atomic from the caller's view.
             let _ = self.with_parent(from, move |dir, name| {
@@ -277,7 +275,10 @@ mod tests {
     fn create_new_fails_on_existing() {
         let fs = MemFs::new();
         fs.write_file("/f", b"x").unwrap();
-        assert_eq!(fs.open("/f", OpenMode::CreateNew).unwrap_err(), Errno::Exist);
+        assert_eq!(
+            fs.open("/f", OpenMode::CreateNew).unwrap_err(),
+            Errno::Exist
+        );
     }
 
     #[test]

@@ -174,7 +174,9 @@ impl VirtualKernel {
         });
         listeners.insert(port, listener.clone());
         let fd = self.alloc_fd();
-        self.resources.lock().insert(fd, Resource::Listener(listener));
+        self.resources
+            .lock()
+            .insert(fd, Resource::Listener(listener));
         Ok(fd)
     }
 
@@ -271,7 +273,9 @@ impl VirtualKernel {
             }
             _ => return Err(Errno::Inval),
         };
-        self.stats.bytes_written.fetch_add(n as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
     }
 
@@ -341,9 +345,8 @@ impl VirtualKernel {
         let deadline = std::time::Instant::now() + timeout;
         let call_index = self.epoll_calls.fetch_add(1, Ordering::Relaxed);
         let every = self.epoll_delay_every.load(Ordering::Relaxed);
-        if every > 0 && call_index % every == 0 {
-            let delay =
-                Duration::from_nanos(self.epoll_delay_nanos.load(Ordering::Relaxed));
+        if every > 0 && call_index.is_multiple_of(every) {
+            let delay = Duration::from_nanos(self.epoll_delay_nanos.load(Ordering::Relaxed));
             if !delay.is_zero() {
                 let seen = self.notifier.current();
                 self.notifier.wait_change(seen, delay);

@@ -207,7 +207,10 @@ mod tests {
         assert_eq!(h.count(), 10);
         assert_eq!(h.max(), Duration::from_millis(100));
         let p50 = h.percentile(50.0);
-        assert!(p50 >= Duration::from_millis(4) && p50 <= Duration::from_millis(7), "{p50:?}");
+        assert!(
+            p50 >= Duration::from_millis(4) && p50 <= Duration::from_millis(7),
+            "{p50:?}"
+        );
         let p100 = h.percentile(100.0);
         assert_eq!(p100, Duration::from_millis(100));
         assert!(h.mean() >= Duration::from_millis(13));

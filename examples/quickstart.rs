@@ -59,7 +59,11 @@ fn main() {
     session
         .timeline()
         .wait_for_stage(Stage::UpdatedLeader, Duration::from_secs(5));
-    println!("    stage: {}, serving: v{}", session.stage(), session.active_version());
+    println!(
+        "    stage: {}, serving: v{}",
+        session.stage(),
+        session.active_version()
+    );
     ask(&mut client, "PUT-string motto updates");
     ask(&mut client, "GET motto");
 

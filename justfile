@@ -26,3 +26,19 @@ chaos-replay seed:
 # The §6.2 error study through the chaos engine.
 chaos-scenarios:
     cargo run --release -p mvedsua-harness -- --scenarios
+
+# Mirror of the CI pipeline: lint, tier-1 verify, chaos smoke, bench smoke.
+ci:
+    cargo fmt --all -- --check
+    cargo clippy --workspace --all-targets -- -D warnings
+    just verify
+    just chaos-smoke
+    just bench-ring-smoke
+
+# Ring microbenchmark, full mode: rewrites BENCH_ring.json in place.
+bench-ring:
+    cargo run --release -p mvedsua-bench --bin ring_bench
+
+# Quick ring bench gated against the committed baseline (what CI runs).
+bench-ring-smoke:
+    cargo run --release -p mvedsua-bench --bin ring_bench -- --quick --out /tmp/BENCH_ring.quick.json --check BENCH_ring.json

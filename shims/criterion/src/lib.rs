@@ -90,6 +90,16 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
     pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),

@@ -66,11 +66,7 @@ pub mod channel {
 
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            let mut inner = self
-                .shared
-                .inner
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             inner.queue.push_back(value);
             drop(inner);
             self.shared.ready.notify_all();
@@ -93,11 +89,7 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut inner = self
-                .shared
-                .inner
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             inner.senders -= 1;
             let last = inner.senders == 0;
             drop(inner);
@@ -117,11 +109,7 @@ pub mod channel {
 
     impl<T> Receiver<T> {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut inner = self
-                .shared
-                .inner
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             match inner.queue.pop_front() {
                 Some(value) => Ok(value),
                 None if inner.senders == 0 => Err(TryRecvError::Disconnected),
@@ -130,11 +118,7 @@ pub mod channel {
         }
 
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut inner = self
-                .shared
-                .inner
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = inner.queue.pop_front() {
                     return Ok(value);
@@ -152,11 +136,7 @@ pub mod channel {
 
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             let deadline = Instant::now() + timeout;
-            let mut inner = self
-                .shared
-                .inner
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = inner.queue.pop_front() {
                     return Ok(value);

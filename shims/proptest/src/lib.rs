@@ -205,7 +205,10 @@ pub mod strategy {
                     return candidate;
                 }
             }
-            panic!("prop_filter {:?} rejected 1000 candidates in a row", self.reason);
+            panic!(
+                "prop_filter {:?} rejected 1000 candidates in a row",
+                self.reason
+            );
         }
     }
 
@@ -243,7 +246,11 @@ pub mod strategy {
                 }
                 pick -= *weight as u64;
             }
-            self.arms.last().expect("prop_oneof with no arms").1.generate(rng)
+            self.arms
+                .last()
+                .expect("prop_oneof with no arms")
+                .1
+                .generate(rng)
         }
     }
 
@@ -404,10 +411,9 @@ pub mod string {
                             let body: String = chars[i + 1..i + off].iter().collect();
                             i += off + 1;
                             match body.split_once(',') {
-                                Some((m, n)) => (
-                                    m.trim().parse().unwrap_or(0),
-                                    n.trim().parse().unwrap_or(8),
-                                ),
+                                Some((m, n)) => {
+                                    (m.trim().parse().unwrap_or(0), n.trim().parse().unwrap_or(8))
+                                }
                                 None => {
                                     let n = body.trim().parse().unwrap_or(1);
                                     (n, n)
@@ -779,7 +785,7 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_case() {
-        let strat = prop_oneof![Just(1u32), Just(2u32), (10u32..20)];
+        let strat = prop_oneof![Just(1u32), Just(2u32), 10u32..20];
         let a: Vec<u32> = (0..20)
             .map(|i| strat.generate(&mut TestRng::for_case("t", i)))
             .collect();

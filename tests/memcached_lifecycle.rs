@@ -64,8 +64,7 @@ fn two_chained_updates_under_load() {
 fn cache_contents_survive_the_update() {
     let port = 8001;
     let session = launch(port);
-    let mut c =
-        LineClient::connect_retry(session.kernel(), port, Duration::from_secs(5)).unwrap();
+    let mut c = LineClient::connect_retry(session.kernel(), port, Duration::from_secs(5)).unwrap();
     c.send_line("set greeting 7 0 5").unwrap();
     c.send_line("hello").unwrap();
     assert_eq!(c.recv_line().unwrap(), "STORED");
@@ -102,8 +101,7 @@ fn version_command_is_an_inherent_divergence() {
     // genuinely disagree and MVE (correctly) kills the update.
     let port = 8002;
     let session = launch(port);
-    let mut c =
-        LineClient::connect_retry(session.kernel(), port, Duration::from_secs(5)).unwrap();
+    let mut c = LineClient::connect_retry(session.kernel(), port, Duration::from_secs(5)).unwrap();
     session
         .update_monitored(
             memcached::update_package(&dsu::v("1.2.3"), FaultPlan::none()),
@@ -129,20 +127,24 @@ fn quiescence_defers_the_fork_past_a_mid_set() {
     // update (timing safety); completing the command unblocks it.
     let port = 8003;
     let session = launch(port);
-    let mut c =
-        LineClient::connect_retry(session.kernel(), port, Duration::from_secs(5)).unwrap();
+    let mut c = LineClient::connect_retry(session.kernel(), port, Duration::from_secs(5)).unwrap();
     c.send_line("set k 0 0 3").unwrap(); // first half only
     std::thread::sleep(Duration::from_millis(100));
 
     session
-        .request_update(memcached::update_package(&dsu::v("1.2.3"), FaultPlan::none()))
+        .request_update(memcached::update_package(
+            &dsu::v("1.2.3"),
+            FaultPlan::none(),
+        ))
         .unwrap();
     // The fork must not happen while the set is pending.
     std::thread::sleep(Duration::from_millis(200));
     assert_eq!(session.stage(), Stage::SingleLeader, "update deferred");
-    assert!(!session.timeline().entries().iter().any(|e| {
-        matches!(e.event, TimelineEvent::Forked { .. })
-    }));
+    assert!(!session
+        .timeline()
+        .entries()
+        .iter()
+        .any(|e| { matches!(e.event, TimelineEvent::Forked { .. }) }));
 
     // Complete the command: the update point becomes safe and the fork
     // goes through.

@@ -32,7 +32,9 @@ fn monitored_virtual(
         let stop = stop.clone();
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
-                kernel.clock().advance(Duration::from_millis(25).as_nanos() as u64);
+                kernel
+                    .clock()
+                    .advance(Duration::from_millis(25).as_nanos() as u64);
                 std::thread::sleep(Duration::from_millis(1));
             }
         })
@@ -53,8 +55,7 @@ fn ten_update_rollback_cycles_lose_nothing() {
         MvedsuaConfig::default(),
     )
     .unwrap();
-    let mut c =
-        LineClient::connect_retry(session.kernel(), port, Duration::from_secs(30)).unwrap();
+    let mut c = LineClient::connect_retry(session.kernel(), port, Duration::from_secs(30)).unwrap();
 
     // Background writer hammering a counter key the whole time.
     let stop = Arc::new(AtomicBool::new(false));
@@ -142,8 +143,7 @@ fn repeated_faulty_updates_then_a_clean_one() {
         MvedsuaConfig::default(),
     )
     .unwrap();
-    let mut c =
-        LineClient::connect_retry(session.kernel(), port, Duration::from_secs(30)).unwrap();
+    let mut c = LineClient::connect_retry(session.kernel(), port, Duration::from_secs(30)).unwrap();
     assert_eq!(ask(&mut c, "PUT anchor 42"), "OK");
 
     use dsu::XformFault::*;
@@ -168,11 +168,14 @@ fn repeated_faulty_updates_then_a_clean_one() {
                 // DropState/CorruptField only diverge when the bad state
                 // is *read*; force the read and await the rollback.
                 assert_eq!(ask(&mut c, "GET anchor"), "VAL 42");
-                assert!(session.timeline().wait_for(Duration::from_secs(30), |es| {
-                    es[base..]
-                        .iter()
-                        .any(|e| matches!(e.event, TimelineEvent::RolledBack))
-                }), "fault {i} must roll back");
+                assert!(
+                    session.timeline().wait_for(Duration::from_secs(30), |es| {
+                        es[base..]
+                            .iter()
+                            .any(|e| matches!(e.event, TimelineEvent::RolledBack))
+                    }),
+                    "fault {i} must roll back"
+                );
             }
             Err(other) => panic!("fault {i}: unexpected {other}"),
         }

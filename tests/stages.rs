@@ -30,7 +30,9 @@ fn monitored_virtual(
         let stop = stop.clone();
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
-                kernel.clock().advance(Duration::from_millis(25).as_nanos() as u64);
+                kernel
+                    .clock()
+                    .advance(Duration::from_millis(25).as_nanos() as u64);
                 std::thread::sleep(Duration::from_millis(1));
             }
         })

@@ -8,8 +8,7 @@ use servers::vsftpd;
 use workload::LineClient;
 
 fn ftp_session(session: &Mvedsua, port: u16) -> LineClient {
-    let mut c =
-        LineClient::connect_retry(session.kernel(), port, Duration::from_secs(5)).unwrap();
+    let mut c = LineClient::connect_retry(session.kernel(), port, Duration::from_secs(5)).unwrap();
     let _banner = c.recv_line().unwrap();
     c.send_line("USER test").unwrap();
     c.recv_line().unwrap();
