@@ -9,6 +9,7 @@ use crossbeam::channel::{unbounded, Receiver};
 use dsl::RuleSet;
 use dsu::{Version, VersionRegistry};
 use mve::{LockstepMode, Notice, NoticeKind, VariantOs};
+use obs::{MetricsRegistry, Obs};
 use parking_lot::Mutex;
 use vos::VirtualKernel;
 
@@ -96,9 +97,28 @@ impl Mvedsua {
         initial: Version,
         config: MvedsuaConfig,
     ) -> Result<Mvedsua, MvedsuaError> {
+        Mvedsua::launch_observed(kernel, registry, initial, config, Obs::disabled())
+    }
+
+    /// [`Mvedsua::launch`] with a flight-recorder handle threaded into
+    /// every layer: variant syscall interposition, ring crossings,
+    /// transformer runs, and the session timeline (mirrored into the
+    /// recorder's session lane). Pass [`Obs::disabled`] for the exact
+    /// behavior (and cost) of `launch`.
+    ///
+    /// # Errors
+    /// [`MvedsuaError::Dsu`] if the version is not in the registry.
+    pub fn launch_observed(
+        kernel: Arc<VirtualKernel>,
+        registry: Arc<VersionRegistry>,
+        initial: Version,
+        config: MvedsuaConfig,
+        obs: Obs,
+    ) -> Result<Mvedsua, MvedsuaError> {
         install_quiet_panic_hook();
         let app = registry.boot(&initial)?;
         let timeline = Arc::new(Timeline::new(kernel.clone()));
+        timeline.attach_obs(obs.clone());
         let (tx, rx) = unbounded();
         let shared = Arc::new(Shared {
             kernel: kernel.clone(),
@@ -115,11 +135,15 @@ impl Mvedsua {
             leader_version: Mutex::new(initial.clone()),
             next_variant: AtomicU32::new(1),
             notices: Mutex::new(Some(tx.clone())),
+            obs: obs.clone(),
+            variant_stats: Mutex::new(Vec::new()),
         });
         timeline.record(TimelineEvent::Launched {
             version: initial.clone(),
         });
-        let os = VariantOs::single(0, kernel, Some(tx));
+        let mut os = VariantOs::single(0, kernel, Some(tx));
+        os.set_obs(obs);
+        shared.variant_stats.lock().push((0, os.stats()));
 
         let runner_shared = shared.clone();
         let runner = std::thread::Builder::new()
@@ -168,6 +192,65 @@ impl Mvedsua {
             .lock()
             .as_ref()
             .map(|a| a.ring_a.stats())
+    }
+
+    /// The session's flight-recorder handle (disabled unless launched
+    /// via [`Mvedsua::launch_observed`]).
+    pub fn obs(&self) -> Obs {
+        self.shared.obs.clone()
+    }
+
+    /// Aggregates every layer's ad-hoc counters into one registry:
+    /// per-variant syscall accounting ([`mve::SyscallStats`]), per-ring
+    /// occupancy and stall statistics, lifecycle counts and pause
+    /// histograms derived from the timeline, and the recorder's own
+    /// bookkeeping. Cheap enough to call repeatedly; each call builds a
+    /// fresh snapshot.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        for (id, stats) in self.shared.variant_stats.lock().iter() {
+            stats.merge_into(&reg, &format!("variant.{id}.syscalls"));
+            stats.merge_into(&reg, "syscalls");
+        }
+        for (i, ring) in self.shared.rings.lock().iter().enumerate() {
+            ring.stats().merge_into(&reg, &format!("ring.{i}"));
+            ring.stats().merge_into(&reg, "ring");
+        }
+        for entry in &self.shared.timeline.entries() {
+            match &entry.event {
+                TimelineEvent::Forked { snapshot_nanos } => {
+                    reg.counter_add("updates.forked", 1);
+                    reg.observe("updates.snapshot_pause_nanos", *snapshot_nanos);
+                }
+                TimelineEvent::UpdateCompleted { xform_nanos } => {
+                    reg.counter_add("updates.completed", 1);
+                    reg.observe("updates.xform_nanos", *xform_nanos);
+                }
+                TimelineEvent::UpdateFailed { .. } => reg.counter_add("updates.failed", 1),
+                TimelineEvent::UpdateAbandoned => reg.counter_add("updates.abandoned", 1),
+                TimelineEvent::RolledBack => reg.counter_add("updates.rolled_back", 1),
+                TimelineEvent::Promoted { .. } => reg.counter_add("updates.promoted", 1),
+                TimelineEvent::Diverged { .. } => reg.counter_add("variants.diverged", 1),
+                TimelineEvent::Crashed { .. } => reg.counter_add("variants.crashed", 1),
+                TimelineEvent::Retired { .. } => reg.counter_add("variants.retired", 1),
+                _ => {}
+            }
+        }
+        reg.gauge_set(
+            "session.timeline_entries",
+            self.shared.timeline.len() as u64,
+        );
+        match self.shared.obs.recorder() {
+            Some(rec) => {
+                reg.gauge_set("obs.enabled", 1);
+                reg.counter_add("obs.events_recorded", rec.recorded());
+                reg.counter_add("obs.events_evicted", rec.evicted());
+                reg.counter_add("obs.rule_matches", rec.rule_matches());
+                reg.counter_add("obs.divergences", rec.divergences());
+            }
+            None => reg.gauge_set("obs.enabled", 0),
+        }
+        reg
     }
 
     /// Queues a dynamic update (paper t1): at the leader's next quiescent
@@ -597,6 +680,83 @@ mod tests {
         assert!(!report.contains(|e| matches!(e, TimelineEvent::RolledBack)));
         let text = report.render();
         assert!(text.contains("final stage"), "{text}");
+    }
+
+    #[test]
+    fn observed_lifecycle_records_events_and_metrics() {
+        let kernel = VirtualKernel::new();
+        let recorder = obs::FlightRecorder::new(256, kernel.clone() as Arc<dyn obs::TimeSource>);
+        let session = Mvedsua::launch_observed(
+            kernel,
+            registry(None),
+            dsu::v("1.0"),
+            MvedsuaConfig::default(),
+            Obs::enabled(recorder.clone()),
+        )
+        .unwrap();
+        session
+            .update_monitored(
+                UpdatePackage::new(dsu::v("2.0")),
+                Duration::from_millis(100),
+            )
+            .unwrap();
+        session.promote().unwrap();
+        assert!(session
+            .timeline()
+            .wait_for_stage(Stage::UpdatedLeader, Duration::from_secs(5)));
+        session.finalize().unwrap();
+        assert!(session.timeline().wait_for(Duration::from_secs(5), |es| {
+            es.iter()
+                .any(|e| matches!(e.event, TimelineEvent::Retired { .. }))
+        }));
+
+        // Session lane mirrors the timeline: stage transitions landed.
+        let session_events = recorder.lane_all(obs::SESSION_LANE);
+        assert!(
+            session_events
+                .iter()
+                .any(|e| matches!(&e.kind, obs::ObsKind::Stage { stage } if stage == "switching")),
+            "stage events missing: {:?}",
+            session_events
+        );
+        // The transformer run landed on the follower's lane (variant 1).
+        assert!(
+            recorder
+                .lane_canonical(1)
+                .iter()
+                .any(|e| matches!(&e.kind, obs::ObsKind::Transform { ok: true, .. })),
+            "transform event missing"
+        );
+        // The retired old version recorded why it exited.
+        assert!(recorder.recorded() > 0);
+
+        let metrics = session.metrics();
+        assert_eq!(metrics.counter("updates.forked"), 1);
+        assert_eq!(metrics.counter("updates.completed"), 1);
+        assert_eq!(metrics.counter("updates.rolled_back"), 0);
+        assert_eq!(metrics.counter("obs.enabled"), 1);
+        assert!(metrics.counter("syscalls.total") > 0, "syscalls aggregated");
+        assert!(
+            metrics.counter("ring.pushed") > 0,
+            "ring stats aggregated:\n{}",
+            metrics.render_text()
+        );
+        session.shutdown();
+    }
+
+    #[test]
+    fn unobserved_metrics_report_recorder_disabled() {
+        let session = Mvedsua::launch(
+            VirtualKernel::new(),
+            registry(None),
+            dsu::v("1.0"),
+            MvedsuaConfig::default(),
+        )
+        .unwrap();
+        let metrics = session.metrics();
+        assert_eq!(metrics.counter("obs.enabled"), 0);
+        assert_eq!(metrics.counter("updates.forked"), 0);
+        session.shutdown();
     }
 
     #[test]

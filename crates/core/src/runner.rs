@@ -7,11 +7,12 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::Sender;
 use dsl::RuleSet;
-use dsu::{panic_message, DsuApp, StepOutcome, Version, VersionRegistry};
+use dsu::{panic_message, DsuApp, StateTransformer, StepOutcome, Version, VersionRegistry};
 use mve::{
-    EventRing, FollowerConfig, LeaderConfig, Notice, RetireReason, RetiredSignal, Role, VariantId,
-    VariantOs,
+    EventRing, FollowerConfig, LeaderConfig, Notice, RetireReason, RetiredSignal, Role,
+    SyscallStats, VariantId, VariantOs,
 };
+use obs::{Obs, ObsKind, TimeSource};
 use parking_lot::Mutex;
 use vos::VirtualKernel;
 
@@ -59,6 +60,12 @@ pub(crate) struct Shared {
     pub leader_version: Mutex<Version>,
     pub next_variant: AtomicU32,
     pub notices: Mutex<Option<Sender<Notice>>>,
+    /// Flight-recorder handle threaded into every variant; disabled (a
+    /// single-branch no-op) unless the session was launched observed.
+    pub obs: Obs,
+    /// Per-variant syscall accounting, collected at spawn time so
+    /// [`crate::Mvedsua::metrics`] can aggregate after variants die.
+    pub variant_stats: Mutex<Vec<(VariantId, Arc<SyscallStats>)>>,
 }
 
 impl Shared {
@@ -117,11 +124,17 @@ pub(crate) fn run_variant(shared: Arc<Shared>, mut app: Box<dyn DsuApp>, mut os:
                 if let Some(signal) = RetiredSignal::from_payload(&*payload) {
                     match &signal.0 {
                         RetireReason::Terminated => {
+                            shared.obs.emit(id, || ObsKind::Retired {
+                                reason: "terminated".to_string(),
+                            });
                             shared
                                 .timeline
                                 .record(TimelineEvent::Retired { variant: id });
                         }
                         RetireReason::Diverged(d) => {
+                            shared.obs.emit(id, || ObsKind::Retired {
+                                reason: d.to_string(),
+                            });
                             shared.timeline.record(TimelineEvent::Diverged {
                                 variant: id,
                                 description: d.to_string(),
@@ -132,6 +145,9 @@ pub(crate) fn run_variant(shared: Arc<Shared>, mut app: Box<dyn DsuApp>, mut os:
                     }
                 } else {
                     let message = panic_message(&*payload);
+                    shared.obs.emit(id, || ObsKind::Crashed {
+                        message: message.clone(),
+                    });
                     shared.timeline.record(TimelineEvent::Crashed {
                         variant: id,
                         message,
@@ -222,12 +238,16 @@ fn maybe_fork(shared: &Arc<Shared>, app: &mut Box<dyn DsuApp>, os: &mut VariantO
     if let Some((every, nanos)) = shared.config.ring_pop_stall {
         ring_a.set_pop_stall(every, Duration::from_nanos(nanos));
     }
+    // Stall timing on the kernel clock: under a virtual-only clock the
+    // producer-stall metric is replay-stable instead of wall-dependent.
+    ring_a.set_stall_time_source(shared.kernel.clone() as Arc<dyn TimeSource>);
     shared.register_ring(&ring_a);
     let ring_b: Option<EventRing> = if shared.config.monitor_after_promote {
         let rb: EventRing = Arc::new(ring::Ring::with_capacity(shared.config.ring_capacity));
         if let Some((every, nanos)) = shared.config.ring_pop_stall {
             rb.set_pop_stall(every, Duration::from_nanos(nanos));
         }
+        rb.set_stall_time_source(shared.kernel.clone() as Arc<dyn TimeSource>);
         shared.register_ring(&rb);
         Some(rb)
     } else {
@@ -245,12 +265,17 @@ fn maybe_fork(shared: &Arc<Shared>, app: &mut Box<dyn DsuApp>, os: &mut VariantO
         }),
         lag: shared.config.follower_lag,
     };
-    let follower_os = VariantOs::follower(
+    let mut follower_os = VariantOs::follower(
         follower_id,
         shared.kernel.clone(),
         follower_config,
         shared.notices_sender(),
     );
+    follower_os.set_obs(shared.obs.clone());
+    shared
+        .variant_stats
+        .lock()
+        .push((follower_id, follower_os.stats()));
 
     // What the old leader becomes at promotion time: a follower on ring
     // B (monitored), or — when the updated-leader stage is bypassed — a
@@ -338,7 +363,21 @@ fn follower_boot(
             .registry
             .update_spec(&from, &package.to)
             .map(|spec| spec.transformer.clone()),
-    };
+    }
+    .map(|t| {
+        if shared.obs.is_enabled() {
+            // Record the run (and its kernel-clock duration) on the
+            // follower's lane.
+            Arc::new(dsu::ObservedTransformer::new(
+                t,
+                shared.obs.clone(),
+                id,
+                shared.kernel.clone() as Arc<dyn TimeSource>,
+            )) as Arc<dyn StateTransformer>
+        } else {
+            t
+        }
+    });
     let begin = Instant::now();
     let built = transformer.and_then(|t| {
         let transformed = t.transform(snapshot)?;

@@ -3,6 +3,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dsu::Version;
+use obs::{Obs, ObsKind, SESSION_LANE};
 use parking_lot::{Condvar, Mutex};
 use vos::VirtualKernel;
 
@@ -124,6 +125,11 @@ pub struct Timeline {
     kernel: Arc<VirtualKernel>,
     inner: Mutex<Inner>,
     changed: Condvar,
+    /// Mirror of timeline activity into the flight recorder's session
+    /// lane (auxiliary class — lifecycle notes and stage transitions).
+    /// Disabled by default; the controller attaches a live handle when
+    /// launched with observability on.
+    obs: Mutex<Obs>,
 }
 
 #[derive(Debug)]
@@ -142,12 +148,21 @@ impl Timeline {
                 stage: Stage::SingleLeader,
             }),
             changed: Condvar::new(),
+            obs: Mutex::new(Obs::disabled()),
         }
+    }
+
+    /// Routes future timeline activity into `obs`'s session lane.
+    pub fn attach_obs(&self, obs: Obs) {
+        *self.obs.lock() = obs;
     }
 
     /// Appends an event, stamped with the kernel clock.
     pub fn record(&self, event: TimelineEvent) {
         let at_nanos = self.kernel.now_nanos();
+        self.obs.lock().emit(SESSION_LANE, || ObsKind::Note {
+            text: format!("{event:?}"),
+        });
         let mut inner = self.inner.lock();
         inner.entries.push(TimelineEntry { at_nanos, event });
         self.changed.notify_all();
@@ -160,6 +175,9 @@ impl Timeline {
         if inner.stage == stage {
             return;
         }
+        self.obs.lock().emit(SESSION_LANE, || ObsKind::Stage {
+            stage: stage.name().to_string(),
+        });
         inner.stage = stage;
         inner.entries.push(TimelineEntry {
             at_nanos,

@@ -16,6 +16,22 @@ pub struct RuleOutcome {
     pub rule: Option<String>,
 }
 
+impl RuleOutcome {
+    /// One-line summary for logs and flight-recorder events, e.g.
+    /// `rule 'coalesce_writes': 2 -> 1` or `passthrough: 1 -> 1`.
+    pub fn describe(&self) -> String {
+        match &self.rule {
+            Some(rule) => format!(
+                "rule '{}': {} -> {}",
+                rule,
+                self.consumed,
+                self.emitted.len()
+            ),
+            None => format!("passthrough: {} -> {}", self.consumed, self.emitted.len()),
+        }
+    }
+}
+
 /// A compiled, ordered set of rewrite rules.
 ///
 /// The engine transforms the *leader's* event stream into the stream the
@@ -505,6 +521,19 @@ mod tests {
             .apply(std::slice::from_ref(&e), &Builtins::standard())
             .unwrap();
         assert_eq!(out.emitted, vec![e]);
+    }
+
+    #[test]
+    fn describe_names_the_fired_rule() {
+        let rules = RuleSet::parse("rule r { on g() => h() }").unwrap();
+        let fired = rules
+            .apply(&[ev("g", vec![])], &Builtins::standard())
+            .unwrap();
+        assert_eq!(fired.describe(), "rule 'r': 1 -> 1");
+        let passed = rules
+            .apply(&[ev("q", vec![])], &Builtins::standard())
+            .unwrap();
+        assert_eq!(passed.describe(), "passthrough: 1 -> 1");
     }
 
     #[test]

@@ -5,10 +5,14 @@
 //! harness --base 1000 --count 500   # soak seeds 1000..1500
 //! harness --scenarios          # run the scripted §6.2 scenarios
 //! harness --seed 0 --plant-bug # corrupt the oracle: demo the failure path
+//! harness --seed 42 --obs      # attach the flight recorder, print metrics
+//! harness --seed 42 --obs-out dump.json   # write the forensics dump
 //! ```
 //!
 //! Exits 1 if any run violates an invariant, printing the seed and the
-//! minimized trace so the failure can be replayed exactly.
+//! minimized trace so the failure can be replayed exactly. With
+//! `--obs-out`, single-seed runs always write the canonical forensics
+//! JSON; sweep and scenario runs write the first failing seed's dump.
 
 use std::process::ExitCode;
 
@@ -19,7 +23,7 @@ use harness::trace::{failure_report, minimize};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: harness --seed N | harness [--base N] [--count N] [--verbose] | harness --scenarios\n       [--plant-bug]  corrupt the oracle's GET predictions to demo the failure path"
+        "usage: harness --seed N | harness [--base N] [--count N] [--verbose] | harness --scenarios\n       [--plant-bug]  corrupt the oracle's GET predictions to demo the failure path\n       [--obs]        attach the flight recorder (metrics + forensics on failure)\n       [--obs-out F]  write the canonical forensics JSON to F (implies --obs)"
     );
     ExitCode::from(2)
 }
@@ -32,6 +36,8 @@ fn main() -> ExitCode {
     let mut verbose = false;
     let mut run_scenarios = false;
     let mut plant_bug = false;
+    let mut obs = false;
+    let mut obs_out: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -51,19 +57,31 @@ fn main() -> ExitCode {
             "--verbose" => verbose = true,
             "--scenarios" => run_scenarios = true,
             "--plant-bug" => plant_bug = true,
+            "--obs" => obs = true,
+            "--obs-out" => match it.next() {
+                Some(path) => {
+                    obs = true;
+                    obs_out = Some(path.clone());
+                }
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
 
+    let single_seed = seed.is_some();
     let options = RunOptions {
         planted_model_bug: plant_bug,
+        obs,
         ..RunOptions::default()
     };
     let mut failures = 0u64;
+    let mut dump_written = false;
 
-    let check = |plan: &ScenarioPlan, verbose: bool| {
+    let mut check = |plan: &ScenarioPlan, verbose: bool| {
         let report = run_plan(plan, &options);
-        if report.ok() {
+        let ok = report.ok();
+        if ok {
             if verbose {
                 print!("{}", report.render_trace());
             } else {
@@ -74,12 +92,34 @@ fn main() -> ExitCode {
                     report.steps_run
                 );
             }
-            true
         } else {
             let minimized = minimize(plan, &options);
             print!("{}", failure_report(&report, &minimized));
-            false
+            if let Some(text) = &report.obs_text {
+                print!("--- flight recorder (last events per lane) ---\n{text}");
+            }
         }
+        // Single-seed runs always export their dump; sweeps export the
+        // first failing seed's.
+        if let Some(path) = &obs_out {
+            if (single_seed || !ok) && !dump_written {
+                if let Some(json) = &report.obs_json {
+                    match std::fs::write(path, json) {
+                        Ok(()) => {
+                            dump_written = true;
+                            eprintln!("forensics dump written to {path}");
+                        }
+                        Err(e) => eprintln!("failed to write {path}: {e}"),
+                    }
+                }
+            }
+        }
+        if single_seed {
+            if let Some(metrics) = &report.metrics_text {
+                print!("--- metrics ---\n{metrics}");
+            }
+        }
+        ok
     };
 
     if run_scenarios {

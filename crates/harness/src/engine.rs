@@ -9,6 +9,7 @@ use std::time::Duration;
 
 use dsu::{FaultPlan, Version, XformFault};
 use mvedsua::{Mvedsua, MvedsuaConfig, MvedsuaError, Stage, TimelineEvent, UpdatePackage};
+use obs::{FlightRecorder, Obs, TimeSource};
 use servers::{kvstore, memcached, redis, vsftpd};
 use vos::VirtualKernel;
 use workload::LineClient;
@@ -28,6 +29,10 @@ const WARMUP: Duration = Duration::from_millis(25);
 /// Ceiling for event-driven waits. Generous on purpose: it only fires
 /// when something is genuinely broken.
 const EVENT_WAIT: Duration = Duration::from_secs(30);
+/// Flight-recorder depth per variant lane (per event class).
+const OBS_CAPACITY: usize = 4096;
+/// How many trailing events each lane contributes to a forensics dump.
+const OBS_LAST_N: usize = 32;
 
 /// Tunables of a run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -37,6 +42,9 @@ pub struct RunOptions {
     pub planted_model_bug: bool,
     /// Execute only the first `limit` steps (the minimizer's knob).
     pub limit: Option<usize>,
+    /// Attach a flight recorder to the session and produce forensics
+    /// output (`obs_json`/`obs_text`/`metrics_text` on the report).
+    pub obs: bool,
 }
 
 /// Outcome of a run: the canonical trace plus any invariant violations.
@@ -54,6 +62,16 @@ pub struct RunReport {
     pub steps_total: usize,
     /// Steps actually executed before stopping.
     pub steps_run: usize,
+    /// Canonical forensics dump (replay-stable JSON: seed, backend,
+    /// violations, per-variant last-N semantic events aligned by ring
+    /// stream position). `Some` only with [`RunOptions::obs`].
+    pub obs_json: Option<String>,
+    /// Human-readable dump of every lane, both event classes. Not
+    /// replay-stable (timestamps, raw sequence numbers, idle traffic).
+    pub obs_text: Option<String>,
+    /// Aggregated metrics (`name value` lines, sorted). Not
+    /// replay-stable (wall-derived durations).
+    pub metrics_text: Option<String>,
 }
 
 impl RunReport {
@@ -124,7 +142,18 @@ impl<'a> Run<'a> {
             ..MvedsuaConfig::default()
         };
         let initial = plan.backend.chain()[0].clone();
-        let session = Mvedsua::launch(kernel, build_registry(plan), initial, config)
+        // The recorder is timestamped by the kernel clock so text dumps
+        // line up with timeline nanos; canonical JSON never includes
+        // timestamps, so replay stability does not depend on it.
+        let obs = if options.obs {
+            Obs::enabled(FlightRecorder::new(
+                OBS_CAPACITY,
+                kernel.clone() as Arc<dyn TimeSource>,
+            ))
+        } else {
+            Obs::disabled()
+        };
+        let session = Mvedsua::launch_observed(kernel, build_registry(plan), initial, config, obs)
             .expect("launch scenario session");
         let client =
             LineClient::connect_retry(session.kernel(), PORT, EVENT_WAIT).expect("connect");
@@ -511,7 +540,13 @@ impl<'a> Run<'a> {
     /// Shuts the session down and verifies the whole-timeline invariants
     /// (stage-machine legality per `Stage::can_transition_to`).
     fn finish(mut self, limit: usize) -> RunReport {
-        let report = self.session.take().expect("session alive").shutdown();
+        let session = self.session.take().expect("session alive");
+        let obs = session.obs();
+        let metrics_text = obs.is_enabled().then(|| session.metrics().render_text());
+        // Shutdown joins every variant thread, so by the time forensics
+        // are collected below, all events that will ever be emitted have
+        // been recorded.
+        let report = session.shutdown();
         let mut stage = Stage::SingleLeader;
         for entry in &report.entries {
             if let TimelineEvent::StageChanged { stage: next } = entry.event {
@@ -534,6 +569,26 @@ impl<'a> Run<'a> {
             limit,
             self.violations.len()
         ));
+        let (obs_json, obs_text) = match obs.recorder() {
+            Some(rec) => {
+                let forensics = rec.forensics(OBS_LAST_N);
+                let violations = self
+                    .violations
+                    .iter()
+                    .map(|v| format!("\"{}\"", obs::json_escape(v)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let json = format!(
+                    "{{\"seed\":\"{:#018x}\",\"backend\":\"{}\",\"violations\":[{}],\"forensics\":{}}}",
+                    self.plan.seed,
+                    self.plan.backend.name(),
+                    violations,
+                    forensics.to_json()
+                );
+                (Some(json), Some(rec.render_text(OBS_LAST_N)))
+            }
+            None => (None, None),
+        };
         RunReport {
             seed: self.plan.seed,
             backend: self.plan.backend,
@@ -541,6 +596,9 @@ impl<'a> Run<'a> {
             violations: self.violations,
             steps_total: limit,
             steps_run: self.steps_run,
+            obs_json,
+            obs_text,
+            metrics_text,
         }
     }
 }

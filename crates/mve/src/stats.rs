@@ -2,7 +2,7 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
-use vos::{Fd, SysRet, Syscall};
+use vos::{Errno, Fd, SysRet, Syscall, SyscallKind};
 
 /// The kernel-state tracking Varan performs even in single-leader mode
 /// (paper §4): logical descriptors and counters must be current so a
@@ -11,16 +11,32 @@ use vos::{Fd, SysRet, Syscall};
 /// reproduction pays the same kind of cost (a mutex-protected set update
 /// per descriptor-changing call, an atomic bump per call) rather than
 /// simulating one.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SyscallStats {
     /// Total syscalls intercepted.
     pub intercepted: AtomicU64,
     /// Bytes moved through read results.
     pub bytes_read: AtomicU64,
-    /// Bytes moved through write payloads.
+    /// Bytes actually accepted by write results (the returned
+    /// `Size(n)`, not the submitted payload length — short writes count
+    /// only what the kernel took).
     pub bytes_written: AtomicU64,
+    /// Per-kind call counts, indexed by [`SyscallKind::index`].
+    by_kind: [AtomicU64; SyscallKind::ALL.len()],
     /// Live descriptor table (the "kernel state relevant to MVE").
     live_fds: Mutex<HashSet<Fd>>,
+}
+
+impl Default for SyscallStats {
+    fn default() -> Self {
+        SyscallStats {
+            intercepted: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
+            live_fds: Mutex::new(HashSet::new()),
+        }
+    }
 }
 
 impl SyscallStats {
@@ -32,19 +48,27 @@ impl SyscallStats {
     /// Records one intercepted call and its result.
     pub fn track(&self, call: &Syscall, ret: &SysRet) {
         self.intercepted.fetch_add(1, Ordering::Relaxed);
+        self.by_kind[call.kind().index()].fetch_add(1, Ordering::Relaxed);
         match (call, ret) {
-            (_, SysRet::Fd(fd)) => {
-                self.live_fds.lock().insert(*fd);
-            }
             (Syscall::Close { fd }, SysRet::Unit) => {
                 self.live_fds.lock().remove(fd);
+            }
+            // A close that failed with `BadFd` means the kernel no
+            // longer knows the descriptor — whatever we believed about
+            // it is stale, so drop the entry rather than leak it
+            // forever. Any other close error (the descriptor exists but
+            // the close did not happen) keeps the fd live.
+            (Syscall::Close { fd }, SysRet::Err(Errno::BadFd)) => {
+                self.live_fds.lock().remove(fd);
+            }
+            (_, SysRet::Fd(fd)) => {
+                self.live_fds.lock().insert(*fd);
             }
             (Syscall::Read { .. } | Syscall::ReadTimeout { .. }, SysRet::Data(d)) => {
                 self.bytes_read.fetch_add(d.len() as u64, Ordering::Relaxed);
             }
-            (Syscall::Write { data, .. }, SysRet::Size(_)) => {
-                self.bytes_written
-                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+            (Syscall::Write { .. }, SysRet::Size(n)) => {
+                self.bytes_written.fetch_add(*n as u64, Ordering::Relaxed);
             }
             _ => {}
         }
@@ -58,6 +82,34 @@ impl SyscallStats {
     /// Total intercepted calls.
     pub fn intercepted_count(&self) -> u64 {
         self.intercepted.load(Ordering::Relaxed)
+    }
+
+    /// Calls of one kind.
+    pub fn count_for(&self, kind: SyscallKind) -> u64 {
+        self.by_kind[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Publish these counters into a metrics registry under
+    /// `<prefix>.total`, `<prefix>.by_kind.<name>`, `<prefix>.bytes_*`,
+    /// and a `<prefix>.live_fds` gauge. Counters accumulate across
+    /// calls so several variants can merge under one prefix.
+    pub fn merge_into(&self, registry: &obs::MetricsRegistry, prefix: &str) {
+        registry.counter_add(&format!("{prefix}.total"), self.intercepted_count());
+        registry.counter_add(
+            &format!("{prefix}.bytes_read"),
+            self.bytes_read.load(Ordering::Relaxed),
+        );
+        registry.counter_add(
+            &format!("{prefix}.bytes_written"),
+            self.bytes_written.load(Ordering::Relaxed),
+        );
+        for kind in SyscallKind::ALL {
+            let count = self.count_for(kind);
+            if count > 0 {
+                registry.counter_add(&format!("{prefix}.by_kind.{}", kind.name()), count);
+            }
+        }
+        registry.gauge_max(&format!("{prefix}.live_fds"), self.live_fd_count() as u64);
     }
 }
 
@@ -83,6 +135,9 @@ mod tests {
         );
         assert_eq!(s.live_fd_count(), 0);
         assert_eq!(s.intercepted_count(), 2);
+        assert_eq!(s.count_for(SyscallKind::Accept), 1);
+        assert_eq!(s.count_for(SyscallKind::Close), 1);
+        assert_eq!(s.count_for(SyscallKind::Read), 0);
     }
 
     #[test]
@@ -106,16 +161,74 @@ mod tests {
         assert_eq!(s.bytes_written.load(Ordering::Relaxed), 2);
     }
 
+    /// Regression: a short write must count the returned size, not the
+    /// submitted payload length.
     #[test]
-    fn failed_closes_do_not_untrack() {
+    fn short_write_counts_returned_size() {
+        let s = SyscallStats::new();
+        s.track(
+            &Syscall::Write {
+                fd: Fd::from_raw(9),
+                data: b"abcdefgh".to_vec(),
+            },
+            &SysRet::Size(3),
+        );
+        assert_eq!(s.bytes_written.load(Ordering::Relaxed), 3);
+        // A failed write moves nothing.
+        s.track(
+            &Syscall::Write {
+                fd: Fd::from_raw(9),
+                data: b"abcdefgh".to_vec(),
+            },
+            &SysRet::Err(Errno::BadFd),
+        );
+        assert_eq!(s.bytes_written.load(Ordering::Relaxed), 3);
+    }
+
+    /// Close-error semantics: `BadFd` means the kernel no longer knows
+    /// the descriptor, so tracking drops it; any other close error
+    /// keeps the descriptor live (the close did not take effect).
+    #[test]
+    fn close_badfd_untracks_other_errors_keep() {
         let s = SyscallStats::new();
         s.track(&Syscall::Listen { port: 1 }, &SysRet::Fd(Fd::from_raw(3)));
+        s.track(&Syscall::Listen { port: 2 }, &SysRet::Fd(Fd::from_raw(4)));
+        assert_eq!(s.live_fd_count(), 2);
+        // Non-BadFd failure: the fd still exists, keep tracking it.
         s.track(
             &Syscall::Close {
                 fd: Fd::from_raw(3),
             },
-            &SysRet::Err(vos::Errno::BadFd),
+            &SysRet::Err(Errno::Inval),
+        );
+        assert_eq!(s.live_fd_count(), 2);
+        // BadFd: stale entry, dropped.
+        s.track(
+            &Syscall::Close {
+                fd: Fd::from_raw(4),
+            },
+            &SysRet::Err(Errno::BadFd),
         );
         assert_eq!(s.live_fd_count(), 1);
+    }
+
+    #[test]
+    fn merges_into_registry() {
+        let s = SyscallStats::new();
+        s.track(&Syscall::Listen { port: 1 }, &SysRet::Fd(Fd::from_raw(3)));
+        s.track(
+            &Syscall::Write {
+                fd: Fd::from_raw(3),
+                data: b"hi".to_vec(),
+            },
+            &SysRet::Size(2),
+        );
+        let reg = obs::MetricsRegistry::new();
+        s.merge_into(&reg, "syscalls");
+        assert_eq!(reg.counter("syscalls.total"), 2);
+        assert_eq!(reg.counter("syscalls.by_kind.listen"), 1);
+        assert_eq!(reg.counter("syscalls.by_kind.write"), 1);
+        assert_eq!(reg.counter("syscalls.bytes_written"), 2);
+        assert_eq!(reg.counter("syscalls.live_fds"), 1);
     }
 }

@@ -4,9 +4,12 @@ use std::time::Duration;
 
 use crossbeam::channel::Sender;
 use dsl::{Builtins, Event, RuleSet};
+use obs::{Obs, ObsKind};
 use parking_lot::Mutex;
 use ring::RingError;
-use vos::{CtlOp, Fd, FileStat, OpenMode, Os, OsResult, SysRet, Syscall, VirtualKernel};
+use vos::{
+    CtlOp, Errno, Fd, FileStat, OpenMode, Os, OsResult, SysRet, Syscall, SyscallKind, VirtualKernel,
+};
 
 use crate::divergence::{Divergence, RetireReason, RetiredSignal};
 use crate::event::{ControlRecord, EventRecord, EventRing, SyscallRecord};
@@ -113,9 +116,51 @@ enum RoleState {
 }
 
 enum FollowerVerdict {
-    Ret(SysRet),
+    Ret {
+        ret: SysRet,
+        /// Raw ring sequence of the replayed record (for forensics).
+        seq: u64,
+    },
     Promote,
     Single,
+}
+
+/// Whether a call/result pair is part of the *semantic* request stream
+/// — a pure function of the scenario driving the application — as
+/// opposed to timing/poll noise whose count varies run-to-run (idle
+/// `epoll_wait` rounds, empty poll reads, would-block probes). The
+/// flight recorder keeps the two classes apart so canonical forensics
+/// dumps replay byte-identically; see the `obs` crate docs.
+fn is_semantic(call: &Syscall, ret: &SysRet) -> bool {
+    if matches!(
+        call.kind(),
+        SyscallKind::EpollWait | SyscallKind::Now | SyscallKind::Pid
+    ) {
+        return false;
+    }
+    match ret {
+        SysRet::Err(Errno::WouldBlock) | SysRet::Err(Errno::TimedOut) => false,
+        SysRet::Data(d) => !d.is_empty(),
+        _ => true,
+    }
+}
+
+/// Compact, deterministic rendering of a syscall result for the flight
+/// recorder (payloads reduced to lengths).
+fn render_ret(ret: &SysRet) -> String {
+    match ret {
+        SysRet::Unit => "Unit".to_string(),
+        SysRet::Fd(fd) => format!("Fd({fd})"),
+        SysRet::Size(n) => format!("Size({n})"),
+        SysRet::Data(d) => format!("Data({} bytes)", d.len()),
+        SysRet::Fds(fds) => format!("Fds({})", fds.len()),
+        SysRet::Stat(_) => "Stat".to_string(),
+        SysRet::Names(names) => format!("Names({})", names.len()),
+        SysRet::Time(_) => "Time".to_string(),
+        SysRet::Pid(_) => "Pid".to_string(),
+        SysRet::Err(e) => format!("Err({})", e.as_str()),
+        _ => "?".to_string(),
+    }
 }
 
 /// The MVE syscall interface: one per variant, implementing [`vos::Os`]
@@ -129,6 +174,17 @@ pub struct VariantOs {
     stats: Arc<SyscallStats>,
     notices: Option<Sender<Notice>>,
     demote_slot: Arc<Mutex<Option<FollowerConfig>>>,
+    /// Flight-recorder handle; [`Obs::disabled`] (one branch per
+    /// dispatch) unless the coordinator attaches a recorder.
+    obs: Obs,
+    /// Semantic stream position within the current MVE era. `None`
+    /// until the first fork (plain single-leader mode has no ring
+    /// stream to align against); reset to 0 whenever a new ring era
+    /// starts (fork, demotion, promotion). Counts *executed or
+    /// replayed semantic* records only, so the value is a pure function
+    /// of the scenario and aligns leader and follower lanes — unlike
+    /// raw ring sequence numbers, which idle traffic also consumes.
+    sem_era: Option<u64>,
 }
 
 impl VariantOs {
@@ -148,6 +204,8 @@ impl VariantOs {
             stats: Arc::new(SyscallStats::new()),
             notices,
             demote_slot: Arc::new(Mutex::new(None)),
+            obs: Obs::disabled(),
+            sem_era: None,
         }
     }
 
@@ -177,7 +235,16 @@ impl VariantOs {
             stats: Arc::new(SyscallStats::new()),
             notices,
             demote_slot: Arc::new(Mutex::new(None)),
+            obs: Obs::disabled(),
+            // A follower is born into a ring era at its fork point.
+            sem_era: Some(0),
         }
+    }
+
+    /// Attaches a flight-recorder handle; this variant's events land on
+    /// lane `id`.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Switches a single-leader variant to leader mode on `config.ring`
@@ -196,6 +263,10 @@ impl VariantOs {
             lockstep: config.lockstep,
             seq: 0,
         });
+        // The fork opens a new ring era; positions restart so they
+        // align with the follower's replay count.
+        self.sem_era = Some(0);
+        self.obs.emit(self.id, || ObsKind::Role { role: "leader" });
     }
 
     /// The slot through which the coordinator requests demotion. The
@@ -238,6 +309,18 @@ impl VariantOs {
             }
             _ => panic!("demote_now requires leader mode"),
         }
+        // The Demote marker sits at the end of the era's semantic
+        // stream: its position equals the count of semantic records
+        // pushed, which is exactly what the peer counts on its side
+        // when it consumes the marker.
+        let demote_pos = self.sem_era.unwrap_or(0);
+        self.obs.emit(self.id, || ObsKind::Control {
+            what: "demote-push",
+            pos: demote_pos,
+        });
+        self.sem_era = Some(0);
+        self.obs
+            .emit(self.id, || ObsKind::Role { role: "follower" });
         self.role = RoleState::Follower(FollowerState {
             ring: config.ring,
             rules: config.rules,
@@ -345,6 +428,25 @@ fn execute_call(k: &Arc<VirtualKernel>, pid: u32, call: &Syscall) -> SysRet {
 }
 
 impl VariantOs {
+    /// Classifies `call`/`ret` and advances the era's semantic stream
+    /// position. Runs unconditionally (not only when recording): the
+    /// position must be a pure function of the application's semantic
+    /// traffic, independent of when a recorder was attached. The cost
+    /// is one match and (for semantic calls) one add.
+    fn tag_semantic(&mut self, call: &Syscall, ret: &SysRet) -> (bool, Option<u64>) {
+        let semantic = is_semantic(call, ret);
+        if !semantic {
+            return (false, None);
+        }
+        match &mut self.sem_era {
+            Some(pos) => {
+                *pos += 1;
+                (true, Some(*pos))
+            }
+            None => (true, None),
+        }
+    }
+
     /// The heart of the interposition layer: routes `call` according to
     /// the current role, performing role transitions where the protocol
     /// dictates.
@@ -354,14 +456,26 @@ impl VariantOs {
                 Role::Single => {
                     let ret = execute_call(&self.kernel, self.pid, &call);
                     self.stats.track(&call, &ret);
+                    let (semantic, pos) = self.tag_semantic(&call, &ret);
+                    self.obs.emit(self.id, || ObsKind::Syscall {
+                        role: "single",
+                        call: call.to_string(),
+                        ret: render_ret(&ret),
+                        semantic,
+                        pos,
+                        raw_pos: None,
+                    });
                     return ret;
                 }
                 Role::Leader => {
                     let ret = execute_call(&self.kernel, self.pid, &call);
                     self.stats.track(&call, &ret);
+                    let (semantic, pos) = self.tag_semantic(&call, &ret);
                     let mut to_single = false;
+                    let mut raw_pos = None;
                     if let RoleState::Leader(state) = &mut self.role {
                         state.seq += 1;
+                        raw_pos = Some(state.seq);
                         let record = EventRecord::Syscall {
                             seq: state.seq,
                             record: SyscallRecord {
@@ -386,23 +500,53 @@ impl VariantOs {
                             Err(RingError::TimedOut) => unreachable!("untimed push"),
                         }
                     }
+                    self.obs.emit(self.id, || ObsKind::Syscall {
+                        role: "leader",
+                        call: call.to_string(),
+                        ret: render_ret(&ret),
+                        semantic,
+                        pos,
+                        raw_pos,
+                    });
                     if to_single {
                         self.role = RoleState::Single;
+                        self.obs.emit(self.id, || ObsKind::Role { role: "single" });
                         self.notify(NoticeKind::BecameSingle);
                     }
                     return ret;
                 }
                 Role::Follower => {
+                    let sem_pos = self.sem_era.unwrap_or(0);
                     let verdict = match &mut self.role {
-                        RoleState::Follower(state) => Self::follower_step(self.id, state, &call),
+                        RoleState::Follower(state) => {
+                            Self::follower_step(self.id, state, &call, &self.obs, sem_pos)
+                        }
                         _ => unreachable!("role checked above"),
                     };
                     match verdict {
-                        FollowerVerdict::Ret(ret) => {
+                        FollowerVerdict::Ret { ret, seq } => {
                             self.stats.track(&call, &ret);
+                            let (semantic, pos) = self.tag_semantic(&call, &ret);
+                            self.obs.emit(self.id, || ObsKind::Syscall {
+                                role: "follower",
+                                call: call.to_string(),
+                                ret: render_ret(&ret),
+                                semantic,
+                                pos,
+                                raw_pos: Some(seq),
+                            });
                             return ret;
                         }
                         FollowerVerdict::Promote => {
+                            // Mirror of demote-push: the position is the
+                            // count of semantic records replayed in the
+                            // era that the Demote marker ends.
+                            let demote_pos = self.sem_era.unwrap_or(0);
+                            self.obs.emit(self.id, || ObsKind::Control {
+                                what: "demote-pop",
+                                pos: demote_pos,
+                            });
+                            self.sem_era = Some(0);
                             let promote_to =
                                 match std::mem::replace(&mut self.role, RoleState::Single) {
                                     RoleState::Follower(st) => st.promote_to,
@@ -415,9 +559,11 @@ impl VariantOs {
                                         lockstep: config.lockstep,
                                         seq: 0,
                                     });
+                                    self.obs.emit(self.id, || ObsKind::Role { role: "leader" });
                                     self.notify(NoticeKind::BecameLeader);
                                 }
                                 None => {
+                                    self.obs.emit(self.id, || ObsKind::Role { role: "single" });
                                     self.notify(NoticeKind::BecameSingle);
                                 }
                             }
@@ -425,6 +571,7 @@ impl VariantOs {
                         }
                         FollowerVerdict::Single => {
                             self.role = RoleState::Single;
+                            self.obs.emit(self.id, || ObsKind::Role { role: "single" });
                             self.notify(NoticeKind::BecameSingle);
                             continue;
                         }
@@ -436,27 +583,42 @@ impl VariantOs {
 
     /// Replays one follower syscall against the expected-event queue,
     /// refilling it from the ring through the rule engine as needed.
-    fn follower_step(_id: VariantId, state: &mut FollowerState, call: &Syscall) -> FollowerVerdict {
+    ///
+    /// `sem_pos` is the caller's current semantic stream position; a
+    /// divergence detected here is recorded at `sem_pos + 1` — the slot
+    /// the mismatching record would have occupied.
+    fn follower_step(
+        id: VariantId,
+        state: &mut FollowerState,
+        call: &Syscall,
+        obs: &Obs,
+        sem_pos: u64,
+    ) -> FollowerVerdict {
+        let diverge = |expected: Option<&Event>, detail: String, seq: u64| {
+            obs.emit(id, || ObsKind::Divergence {
+                pos: sem_pos + 1,
+                expected: expected.map(|e| e.to_string()).unwrap_or_default(),
+                attempted: call.to_string(),
+                detail: detail.clone(),
+            });
+            RetiredSignal::raise(RetireReason::Diverged(Divergence {
+                seq,
+                expected: expected.cloned(),
+                attempted: call.to_string(),
+                detail,
+            }))
+        };
         loop {
             if let Some((seq, front)) = state.expected.front() {
                 let seq = *seq;
                 if !request_matches(front, call) {
-                    RetiredSignal::raise(RetireReason::Diverged(Divergence {
-                        seq,
-                        expected: Some(front.clone()),
-                        attempted: call.to_string(),
-                        detail: String::new(),
-                    }));
+                    let front = front.clone();
+                    diverge(Some(&front), String::new(), seq);
                 }
                 let (seq, event) = state.expected.pop_front().expect("checked front");
                 match reconstruct_result(&event, call) {
-                    Ok(ret) => return FollowerVerdict::Ret(ret),
-                    Err(detail) => RetiredSignal::raise(RetireReason::Diverged(Divergence {
-                        seq,
-                        expected: Some(event),
-                        attempted: call.to_string(),
-                        detail,
-                    })),
+                    Ok(ret) => return FollowerVerdict::Ret { ret, seq },
+                    Err(detail) => diverge(Some(&event), detail, seq),
                 }
             }
             if state.promote_pending {
@@ -548,17 +710,25 @@ impl VariantOs {
             while offset < events.len() {
                 match state.rules.apply(&events[offset..], &state.builtins) {
                     Ok(outcome) => {
+                        if let Some(rule) = &outcome.rule {
+                            let (consumed, emitted) = (outcome.consumed, outcome.emitted.len());
+                            obs.emit(id, || ObsKind::RuleMatch {
+                                rule: rule.clone(),
+                                consumed,
+                                emitted,
+                                pos: window_last_seq,
+                            });
+                        }
                         state
                             .expected
                             .extend(outcome.emitted.into_iter().map(|ev| (window_last_seq, ev)));
                         offset += outcome.consumed;
                     }
-                    Err(e) => RetiredSignal::raise(RetireReason::Diverged(Divergence {
+                    Err(e) => diverge(
+                        events.get(offset),
+                        format!("rule evaluation failed: {e}"),
                         seq,
-                        expected: events.get(offset).cloned(),
-                        attempted: call.to_string(),
-                        detail: format!("rule evaluation failed: {e}"),
-                    })),
+                    ),
                 }
             }
         }

@@ -1,0 +1,256 @@
+//! A small pull-model metrics registry.
+//!
+//! The substrates already keep their own atomic counters (`mve`
+//! syscall stats, `ring` producer/consumer stats, the session
+//! timeline); this registry is where they are *aggregated* into one
+//! named, sorted namespace on demand — there is no background thread
+//! and nothing on the hot path. Layers expose `merge_into(&registry)`
+//! helpers; the controller calls them when asked for a report.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use crate::json::{self, JsonObject};
+
+/// Snapshot of a histogram's aggregates plus log2 bucket counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// `buckets[i]` counts observations `v` with `v < 2^i` (and not in
+    /// an earlier bucket); the last bucket is unbounded.
+    pub buckets: [u64; 64],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    fn observe(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        let bucket = (64 - value.leading_zeros()).min(63) as usize;
+        self.buckets[bucket] += 1;
+    }
+
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// One named metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic count; merging adds.
+    Counter(u64),
+    /// Point-in-time value; merging overwrites (or takes max via
+    /// [`MetricsRegistry::gauge_max`]).
+    Gauge(u64),
+    /// Distribution of observed values (boxed: the bucket array is
+    /// large, and counters/gauges dominate the map).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// Named metrics, sorted by name for deterministic rendering.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, MetricValue>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name`, creating it at zero.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        match inner
+            .entry(name.to_string())
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(v) => *v += delta,
+            other => *other = MetricValue::Counter(delta),
+        }
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: u64) {
+        self.inner
+            .lock()
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Raise gauge `name` to `value` if it is below it.
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock();
+        match inner
+            .entry(name.to_string())
+            .or_insert(MetricValue::Gauge(value))
+        {
+            MetricValue::Gauge(v) => *v = (*v).max(value),
+            other => *other = MetricValue::Gauge(value),
+        }
+    }
+
+    /// Record one observation into histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock();
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| MetricValue::Histogram(Box::default()))
+        {
+            MetricValue::Histogram(h) => h.observe(value),
+            other => {
+                let mut h = Box::<HistogramSnapshot>::default();
+                h.observe(value);
+                *other = MetricValue::Histogram(h);
+            }
+        }
+    }
+
+    /// Fetch one metric by name.
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.inner.lock().get(name).cloned()
+    }
+
+    /// Convenience: counter value, or 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) | Some(MetricValue::Gauge(v)) => v,
+            _ => 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Render `name value` lines, sorted by name. Histograms render as
+    /// `name{count,sum,min,mean,max}` aggregates.
+    pub fn render_text(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (name, value) in inner.iter() {
+            match value {
+                MetricValue::Counter(v) => out.push_str(&format!("{name} {v}\n")),
+                MetricValue::Gauge(v) => out.push_str(&format!("{name} {v}\n")),
+                MetricValue::Histogram(h) => out.push_str(&format!(
+                    "{name} count={} sum={} min={} mean={} max={}\n",
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.mean(),
+                    h.max
+                )),
+            }
+        }
+        out
+    }
+
+    /// Render the registry as a sorted JSON object.
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock();
+        let mut obj = JsonObject::new();
+        for (name, value) in inner.iter() {
+            match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    obj.field_u64(name, *v);
+                }
+                MetricValue::Histogram(h) => {
+                    let mut ho = JsonObject::new();
+                    ho.field_u64("count", h.count);
+                    ho.field_u64("sum", h.sum);
+                    ho.field_u64("min", h.min);
+                    ho.field_u64("mean", h.mean());
+                    ho.field_u64("max", h.max);
+                    let nonzero =
+                        h.buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, c)| **c > 0)
+                            .map(|(i, c)| {
+                                let mut b = JsonObject::new();
+                                b.field_u64("log2", i as u64);
+                                b.field_u64("count", *c);
+                                b.finish()
+                            });
+                    ho.field_raw("buckets", &json::array(nonzero));
+                    obj.field_raw(name, &ho.finish());
+                }
+            }
+        }
+        obj.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("syscalls.total", 3);
+        reg.counter_add("syscalls.total", 4);
+        assert_eq!(reg.counter("syscalls.total"), 7);
+    }
+
+    #[test]
+    fn gauge_max_keeps_high_water() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_max("ring.high_water", 5);
+        reg.gauge_max("ring.high_water", 3);
+        reg.gauge_max("ring.high_water", 9);
+        assert_eq!(reg.counter("ring.high_water"), 9);
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let reg = MetricsRegistry::new();
+        for v in [1u64, 2, 4, 1000] {
+            reg.observe("pause_nanos", v);
+        }
+        let Some(MetricValue::Histogram(h)) = reg.get("pause_nanos") else {
+            panic!("histogram expected");
+        };
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1007);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.mean(), 251);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("b", 2);
+        reg.counter_add("a", 1);
+        reg.gauge_set("c", 3);
+        assert_eq!(reg.render_text(), "a 1\nb 2\nc 3\n");
+        assert_eq!(reg.to_json(), "{\"a\":1,\"b\":2,\"c\":3}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Injectable time sources for the recorder and for ring stall timing.
+//!
+//! Every timestamp in the observability layer flows through a
+//! [`TimeSource`] trait object so the caller decides what "now" means:
+//! the vos virtual clock in deterministic harness runs, a wall clock in
+//! ad-hoc debugging, or a [`ManualClock`] in tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+///
+/// `vos::Clock` and `vos::VirtualKernel` implement this (in the `vos`
+/// crate, to keep the dependency arrow pointing at `obs`), so any layer
+/// holding a kernel handle can hand it to the recorder or the ring.
+pub trait TimeSource: Send + Sync {
+    /// Nanoseconds since this source's epoch.
+    fn now_nanos(&self) -> u64;
+}
+
+/// Wall-clock time source: nanoseconds since construction.
+///
+/// Only for interactive debugging — never used in harness runs, where
+/// determinism requires the vos virtual clock.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeSource for WallClock {
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A clock that only moves when told to. Used by tests to prove that a
+/// measured duration is exactly the amount the test advanced the clock
+/// by — i.e. that no wall time leaked into the measurement.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move the clock forward by `delta` nanoseconds.
+    pub fn advance(&self, delta: u64) {
+        self.nanos.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// Set the clock to an absolute value.
+    pub fn set(&self, nanos: u64) {
+        self.nanos.store(nanos, Ordering::SeqCst);
+    }
+}
+
+impl TimeSource for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_when_told() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        clock.advance(250);
+        assert_eq!(clock.now_nanos(), 250);
+        clock.set(1_000);
+        assert_eq!(clock.now_nanos(), 1_000);
+        clock.advance(1);
+        assert_eq!(clock.now_nanos(), 1_001);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+}

@@ -33,6 +33,33 @@ use parking_lot::Mutex;
 use crate::wait::{Backoff, WaitSet};
 use crate::{RingError, RingStats};
 
+/// Stall-duration measurement against either the wall clock or an
+/// injected [`obs::TimeSource`]. Built only on the cold full-ring path,
+/// so the fast push path never touches the clock at all.
+enum StallTimer {
+    Wall(Instant),
+    Source(Arc<dyn obs::TimeSource>, u64),
+}
+
+impl StallTimer {
+    fn start(source: Option<Arc<dyn obs::TimeSource>>) -> Self {
+        match source {
+            Some(src) => {
+                let begin = src.now_nanos();
+                StallTimer::Source(src, begin)
+            }
+            None => StallTimer::Wall(Instant::now()),
+        }
+    }
+
+    fn elapsed_nanos(&self) -> u64 {
+        match self {
+            StallTimer::Wall(begin) => begin.elapsed().as_nanos() as u64,
+            StallTimer::Source(src, begin) => src.now_nanos().saturating_sub(*begin),
+        }
+    }
+}
+
 /// Slot-sequence sentinel: the producer is currently (re)writing the
 /// slot. Positions are claim counters and can never reach this value.
 const WRITING: u64 = u64::MAX;
@@ -107,6 +134,11 @@ pub struct Ring<T> {
     /// Consumer-written counters and the chaos stall config, likewise
     /// isolated from producer-side traffic.
     consumer_stats: CachePadded<ConsumerStats>,
+    /// Clock for measuring producer stall time. `None` (the default)
+    /// means wall clock; the harness injects the vos virtual clock so
+    /// `producer_stall_nanos` is replay-stable across runs of the same
+    /// chaos seed. Read only on the cold full-ring path.
+    stall_clock: Mutex<Option<Arc<dyn obs::TimeSource>>>,
 }
 
 struct ProducerStats {
@@ -174,7 +206,16 @@ impl<T> Ring<T> {
                 pop_stall_every: AtomicU64::new(0),
                 pop_stall_nanos: AtomicU64::new(0),
             }),
+            stall_clock: Mutex::new(None),
         }
+    }
+
+    /// Route producer stall timing through `source` instead of the wall
+    /// clock. With a virtual or manual clock, `producer_stall_nanos`
+    /// becomes a pure function of clock advances — deterministic across
+    /// replays of the same schedule — instead of of scheduler timing.
+    pub fn set_stall_time_source(&self, source: Arc<dyn obs::TimeSource>) {
+        *self.stall_clock.lock() = Some(source);
     }
 
     /// Perturbation hook for the chaos harness: every `every`-th
@@ -273,7 +314,7 @@ impl<T> Ring<T> {
                 return Err(RingError::TimedOut);
             }
             self.producer_stats.0.stalls.fetch_add(1, Ordering::Relaxed);
-            let begin = Instant::now();
+            let timer = StallTimer::start(self.stall_clock.lock().clone());
             // Park until a cursor advances (or the ring dies); the
             // ready closure keeps this immune to lost wakeups.
             backoff.idle(
@@ -289,7 +330,7 @@ impl<T> Ring<T> {
             self.producer_stats
                 .0
                 .stall_nanos
-                .fetch_add(begin.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .fetch_add(timer.elapsed_nanos(), Ordering::Relaxed);
         }
     }
 
@@ -398,11 +439,22 @@ impl<T> Ring<T> {
     /// [`RingError::Poisoned`] if the consumer is gone, or
     /// [`RingError::Closed`] if `close` was already called.
     pub fn push(&self, item: T) -> Result<(), RingError> {
+        self.push_tagged(item).map(|_| ())
+    }
+
+    /// Appends a record, blocking while the ring is full, and returns
+    /// the record's stream position (0-based, never reused). The
+    /// observability layer tags flight-recorder events with it so
+    /// leader and follower dumps can be aligned record-for-record.
+    ///
+    /// # Errors
+    /// As [`Ring::push`].
+    pub fn push_tagged(&self, item: T) -> Result<u64, RingError> {
         let position = self.claim(1, true)?;
         self.write_at(position, item);
         self.note_high_water(position + 1);
         self.data_waiters.notify();
-        Ok(())
+        Ok(position)
     }
 
     /// Appends a record if there is room, without blocking.

@@ -88,3 +88,20 @@ pub struct RingStats {
     /// Cumulative nanoseconds producers spent blocked.
     pub producer_stall_nanos: u64,
 }
+
+impl RingStats {
+    /// Publish these counters into a metrics registry under
+    /// `<prefix>.pushed`, `<prefix>.popped`, etc. Counters accumulate
+    /// across calls (so several rings can merge under one prefix);
+    /// `high_water` merges as a max gauge.
+    pub fn merge_into(&self, registry: &obs::MetricsRegistry, prefix: &str) {
+        registry.counter_add(&format!("{prefix}.pushed"), self.pushed);
+        registry.counter_add(&format!("{prefix}.popped"), self.popped);
+        registry.gauge_max(&format!("{prefix}.high_water"), self.high_water as u64);
+        registry.counter_add(&format!("{prefix}.producer_stalls"), self.producer_stalls);
+        registry.counter_add(
+            &format!("{prefix}.producer_stall_nanos"),
+            self.producer_stall_nanos,
+        );
+    }
+}

@@ -355,3 +355,48 @@ fn peek_races_pop_without_tearing() {
     producer.join().unwrap();
     peeker.join().unwrap();
 }
+
+/// With an injected time source, `producer_stall_nanos` is a pure
+/// function of how far that clock advanced while the producer was
+/// blocked — real scheduling time must not leak in. Two runs of the
+/// same schedule (with wildly different wall-clock sleeps) measure the
+/// identical stall duration, which is what makes `RingStats`
+/// replay-stable under the chaos harness.
+#[test]
+fn injected_stall_clock_makes_stall_nanos_deterministic() {
+    fn run(wall_sleep: Duration) -> u64 {
+        let clock = Arc::new(obs::ManualClock::new());
+        let r: Arc<Ring<u64>> = Arc::new(Ring::with_capacity(1));
+        r.set_stall_time_source(clock.clone() as Arc<dyn obs::TimeSource>);
+        r.push(0).unwrap();
+        let stalled = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let producer = {
+            let r = r.clone();
+            let stalled = stalled.clone();
+            thread::spawn(move || {
+                stalled.store(true, Ordering::SeqCst);
+                r.push(1).unwrap();
+            })
+        };
+        // Wait until the producer has actually blocked on the full
+        // ring, then hold it there for a run-dependent amount of real
+        // time while the virtual clock advances by exactly 40_000 ns.
+        while !stalled.load(Ordering::SeqCst) || r.stats().producer_stalls == 0 {
+            thread::yield_now();
+        }
+        thread::sleep(wall_sleep);
+        clock.advance(40_000);
+        r.pop(None).unwrap();
+        producer.join().unwrap();
+        assert_eq!(r.pop(None).unwrap(), 1);
+        r.stats().producer_stall_nanos
+    }
+
+    let fast = run(Duration::from_millis(1));
+    let slow = run(Duration::from_millis(60));
+    // Spurious wakeups may split the wait into several zero-length
+    // stalls, but the *measured nanoseconds* come only from the manual
+    // clock: exactly the 40_000 ns it was advanced by, in both runs.
+    assert_eq!(fast, 40_000);
+    assert_eq!(slow, fast);
+}

@@ -132,6 +132,15 @@ impl Default for Clock {
     }
 }
 
+/// The observability layer timestamps events and measures stalls
+/// through this impl, so harness recordings use virtual time and stay
+/// replay-stable.
+impl obs::TimeSource for Clock {
+    fn now_nanos(&self) -> u64 {
+        Clock::now_nanos(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

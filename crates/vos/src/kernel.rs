@@ -436,6 +436,15 @@ impl VirtualKernel {
     }
 }
 
+/// An `Arc<VirtualKernel>` coerces to `Arc<dyn obs::TimeSource>`, so
+/// layers that hold a kernel handle (the ring's stall timer, the
+/// controller's metrics) can time against the kernel clock directly.
+impl obs::TimeSource for VirtualKernel {
+    fn now_nanos(&self) -> u64 {
+        VirtualKernel::now_nanos(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,6 +57,33 @@ pub enum SyscallKind {
 }
 
 impl SyscallKind {
+    /// Every kind, in declaration order. The observability layer keeps
+    /// per-kind counters in an array indexed by [`SyscallKind::index`];
+    /// this is the iteration order for reporting them.
+    pub const ALL: [SyscallKind; 16] = [
+        SyscallKind::Listen,
+        SyscallKind::Accept,
+        SyscallKind::Read,
+        SyscallKind::Write,
+        SyscallKind::Close,
+        SyscallKind::EpollCreate,
+        SyscallKind::EpollCtl,
+        SyscallKind::EpollWait,
+        SyscallKind::FsOpen,
+        SyscallKind::FsUnlink,
+        SyscallKind::FsStat,
+        SyscallKind::FsList,
+        SyscallKind::FsMkdir,
+        SyscallKind::FsRename,
+        SyscallKind::Now,
+        SyscallKind::Pid,
+    ];
+
+    /// Dense index of this kind in [`SyscallKind::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The DSL-visible name of this kind.
     pub fn name(self) -> &'static str {
         match self {

@@ -27,6 +27,21 @@ chaos-replay seed:
 chaos-scenarios:
     cargo run --release -p mvedsua-harness -- --scenarios
 
+# Replay a seed with the flight recorder attached: prints metrics and
+# writes the canonical forensics dump (replay-stable JSON).
+obs-report seed out="/tmp/obs-dump.json":
+    cargo run --release -p mvedsua-harness -- --seed {{seed}} --obs-out {{out}}
+
+# Observability smoke: recorder-attached chaos sweep (dump of the first
+# failing seed lands in /tmp/obs-dump.json) plus the obs test tier.
+obs-smoke:
+    cargo test -q --test obs_smoke
+    cargo run --release -p mvedsua-harness -- --base 0 --count 50 --obs --obs-out /tmp/obs-dump.json
+
+# Flight-recorder overhead numbers (disabled emit vs enabled record).
+bench-obs:
+    cargo run --release -p mvedsua-bench --bin obs_bench
+
 # Mirror of the CI pipeline: lint, tier-1 verify, chaos smoke, bench smoke.
 ci:
     cargo fmt --all -- --check

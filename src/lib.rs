@@ -6,6 +6,7 @@
 //!
 //! | re-export | crate | role |
 //! |---|---|---|
+//! | [`obs`] | `mvedsua-obs` | flight recorder & metrics registry |
 //! | [`vos`] | `mvedsua-vos` | virtual kernel & syscall surface |
 //! | [`pmap`] | `mvedsua-pmap` | persistent map (O(1) fork snapshots) |
 //! | [`ring`] | `mvedsua-ring` | the MVE event ring buffer |
@@ -25,6 +26,7 @@ pub use dsu;
 pub use evloop;
 pub use mve;
 pub use mvedsua;
+pub use obs;
 pub use pmap;
 pub use ring;
 pub use servers;
