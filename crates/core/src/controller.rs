@@ -38,6 +38,11 @@ pub struct MvedsuaConfig {
     /// Chaos-harness perturbation: stall every Nth ring pop for the given
     /// number of nanoseconds (`(every, nanos)`); `None` disables it.
     pub ring_pop_stall: Option<(u64, u64)>,
+    /// Run the `rulecheck` static analyzer over an update's rewrite
+    /// rules at prepare time and reject Error-severity findings before
+    /// the follower is forked. Defaults on; the analyzer runs strictly
+    /// before any execution, so passing programs behave identically.
+    pub lint_rules: bool,
 }
 
 impl Default for MvedsuaConfig {
@@ -48,6 +53,7 @@ impl Default for MvedsuaConfig {
             lockstep: None,
             follower_lag: None,
             ring_pop_stall: None,
+            lint_rules: true,
         }
     }
 }
@@ -274,6 +280,9 @@ impl Mvedsua {
             let from = self.active_version();
             self.shared.registry.update_spec(&from, &package.to)?;
         }
+        if self.shared.config.lint_rules {
+            self.lint_package(&package, &fwd_rules, &rev_rules)?;
+        }
         self.shared.timeline.record(TimelineEvent::UpdateRequested {
             to: package.to.clone(),
         });
@@ -287,6 +296,81 @@ impl Mvedsua {
             rev_rules: Arc::new(rev_rules),
             attempts: 0,
         });
+        Ok(())
+    }
+
+    /// The `rulecheck` deployment gate: static analysis of the package at
+    /// prepare time, strictly before the fork. Lints both rule programs
+    /// against the syscall event vocabulary and the package's builtins,
+    /// then checks the registry's version-graph coverage, the stage
+    /// plan's legality, and the rules' match-window requirements against
+    /// the ring capacity. Error-severity findings reject the update — the
+    /// follower is never created, so there is nothing to roll back.
+    fn lint_package(
+        &self,
+        package: &UpdatePackage,
+        fwd_rules: &RuleSet,
+        rev_rules: &RuleSet,
+    ) -> Result<(), MvedsuaError> {
+        let events = mve::event_signatures();
+        let ctx = dsl::AnalysisContext::new()
+            .with_events(&events)
+            .with_builtins(&package.builtins);
+        let mut diags = dsl::Diagnostics::new();
+        for src in [&package.fwd_rules, &package.rev_rules] {
+            if !src.trim().is_empty() {
+                diags.extend(dsl::check_source(src, &ctx));
+            }
+        }
+        if package.transformer_override.is_none() {
+            for issue in self.shared.registry.coverage_issues() {
+                let code = match &issue {
+                    dsu::CoverageIssue::MissingChain { .. } => "RC0601",
+                    dsu::CoverageIssue::DanglingEndpoint { .. } => "RC0602",
+                    dsu::CoverageIssue::DuplicateSpec { .. } => "RC0603",
+                };
+                diags.push(if issue.is_error() {
+                    dsl::Diagnostic::error(code, issue.to_string())
+                } else {
+                    dsl::Diagnostic::warning(code, issue.to_string())
+                });
+            }
+        }
+        let mut plan = vec![Stage::SingleLeader, Stage::OutdatedLeader, Stage::Switching];
+        if self.shared.config.monitor_after_promote {
+            plan.push(Stage::UpdatedLeader);
+        }
+        plan.push(Stage::SingleLeader);
+        for pair in plan.windows(2) {
+            if !pair[0].can_transition_to(pair[1]) {
+                diags.push(dsl::Diagnostic::error(
+                    "RC0604",
+                    format!(
+                        "update plan contains an illegal stage transition {} -> {}",
+                        pair[0], pair[1]
+                    ),
+                ));
+            }
+        }
+        for (which, rules) in [("forward", fwd_rules), ("reverse", rev_rules)] {
+            let window = rules.max_window();
+            if window > self.shared.config.ring_capacity {
+                diags.push(dsl::Diagnostic::error(
+                    "RC0605",
+                    format!(
+                        "{which} rules need a match window of {window} events \
+                         but the ring holds only {} records",
+                        self.shared.config.ring_capacity
+                    ),
+                ));
+            }
+        }
+        if diags.has_errors() {
+            self.shared.timeline.record(TimelineEvent::UpdateRejected {
+                errors: diags.error_count(),
+            });
+            return Err(MvedsuaError::BadRules(diags));
+        }
         Ok(())
     }
 
@@ -484,7 +568,11 @@ fn parse_rules(src: &str) -> Result<RuleSet, MvedsuaError> {
     if src.trim().is_empty() {
         Ok(RuleSet::empty())
     } else {
-        RuleSet::parse(src).map_err(|e| MvedsuaError::BadRules(e.to_string()))
+        RuleSet::parse(src).map_err(|e| {
+            let mut diags = dsl::Diagnostics::new();
+            diags.push(dsl::parse_diagnostic(&e));
+            MvedsuaError::BadRules(diags)
+        })
     }
 }
 
@@ -866,6 +954,153 @@ mod tests {
             session.request_update(UpdatePackage::new(dsu::v("2.0")).with_fwd_rules("rule {")),
             Err(MvedsuaError::BadRules(_))
         ));
+        session.shutdown();
+    }
+
+    #[test]
+    fn rulecheck_gate_rejects_bad_rules_before_the_fork() {
+        let session = Mvedsua::launch(
+            VirtualKernel::new(),
+            registry(None),
+            dsu::v("1.0"),
+            MvedsuaConfig::default(),
+        )
+        .unwrap();
+        // `frobnicate` is not in the syscall vocabulary and `undefined`
+        // is not bound by any pattern — two error-severity findings in a
+        // program that parses fine.
+        let bad = "rule planted { on frobnicate(x) => write(x, undefined, 1) }";
+        let err = session
+            .request_update(UpdatePackage::new(dsu::v("2.0")).with_fwd_rules(bad))
+            .unwrap_err();
+        let diags = match err {
+            MvedsuaError::BadRules(diags) => diags,
+            other => panic!("expected BadRules, got {other}"),
+        };
+        assert!(diags.iter().any(|d| d.code == "RC0201"), "{diags}");
+        assert!(diags.iter().any(|d| d.code == "RC0101"), "{diags}");
+        // Rejected at prepare time: no request recorded, no fork, no
+        // rollback — the leader never noticed.
+        assert_eq!(session.stage(), Stage::SingleLeader);
+        assert_eq!(session.active_version(), dsu::v("1.0"));
+        let report = session.shutdown();
+        assert!(report.contains(|e| matches!(e, TimelineEvent::UpdateRejected { errors: 2 })));
+        assert!(!report.contains(|e| matches!(e, TimelineEvent::UpdateRequested { .. })));
+        assert!(!report.contains(|e| matches!(e, TimelineEvent::Forked { .. })));
+        assert!(!report.contains(|e| matches!(e, TimelineEvent::RolledBack)));
+    }
+
+    #[test]
+    fn rulecheck_gate_can_be_disabled() {
+        let session = Mvedsua::launch(
+            VirtualKernel::new(),
+            registry(None),
+            dsu::v("1.0"),
+            MvedsuaConfig {
+                lint_rules: false,
+                ..MvedsuaConfig::default()
+            },
+        )
+        .unwrap();
+        // Same planted rule as above: parseable, so with the gate off it
+        // sails through (the unknown event simply never matches).
+        let bad = "rule planted { on frobnicate(x) => write(x, undefined, 1) }";
+        session
+            .update_monitored(
+                UpdatePackage::new(dsu::v("2.0")).with_fwd_rules(bad),
+                Duration::from_millis(50),
+            )
+            .unwrap();
+        session.shutdown();
+    }
+
+    #[test]
+    fn rulecheck_gate_rejects_windows_wider_than_the_ring() {
+        let session = Mvedsua::launch(
+            VirtualKernel::new(),
+            registry(None),
+            dsu::v("1.0"),
+            MvedsuaConfig {
+                ring_capacity: 2,
+                ..MvedsuaConfig::default()
+            },
+        )
+        .unwrap();
+        // Three-event window against a two-record ring: the matcher
+        // could never hold a candidate match.
+        let wide = "rule wide { on read(a, b, c), read(d, e, f2), read(g, h, i) => nothing }";
+        let err = session
+            .request_update(UpdatePackage::new(dsu::v("2.0")).with_rev_rules(wide))
+            .unwrap_err();
+        match err {
+            MvedsuaError::BadRules(diags) => {
+                assert!(diags.iter().any(|d| d.code == "RC0605"), "{diags}");
+            }
+            other => panic!("expected BadRules, got {other}"),
+        }
+        session.shutdown();
+    }
+
+    #[test]
+    fn rulecheck_gate_reports_missing_chains_and_duplicate_specs() {
+        let mut r = (*registry(None)).clone();
+        // 3.0 is registered but nothing chains 2.0 -> 3.0 (RC0601), and
+        // a duplicated 1.0 -> 2.0 spec is dead weight (RC0603 warning,
+        // surfaced alongside the error).
+        r.register_version(VersionEntry::new(
+            dsu::v("3.0"),
+            || {
+                Box::new(Ticker {
+                    version: dsu::v("3.0"),
+                    ticks: 0,
+                    crash_at: None,
+                })
+            },
+            |_| Err(UpdateError::StateTypeMismatch),
+        ));
+        r.register_update(UpdateSpec::new("1.0", "2.0", Arc::new(IdentityTransformer)));
+        let session = Mvedsua::launch(
+            VirtualKernel::new(),
+            Arc::new(r),
+            dsu::v("1.0"),
+            MvedsuaConfig::default(),
+        )
+        .unwrap();
+        let err = session
+            .request_update(UpdatePackage::new(dsu::v("2.0")))
+            .unwrap_err();
+        match err {
+            MvedsuaError::BadRules(diags) => {
+                assert!(diags.iter().any(|d| d.code == "RC0601"), "{diags}");
+                assert!(diags.iter().any(|d| d.code == "RC0603"), "{diags}");
+            }
+            other => panic!("expected BadRules, got {other}"),
+        }
+        session.shutdown();
+    }
+
+    #[test]
+    fn rulecheck_gate_rejects_registry_coverage_holes() {
+        // A spec pointing at a version nobody registered poisons the
+        // whole version graph; deployment is refused until it is fixed.
+        let mut r = (*registry(None)).clone();
+        r.register_update(UpdateSpec::new("2.0", "9.9", Arc::new(IdentityTransformer)));
+        let session = Mvedsua::launch(
+            VirtualKernel::new(),
+            Arc::new(r),
+            dsu::v("1.0"),
+            MvedsuaConfig::default(),
+        )
+        .unwrap();
+        let err = session
+            .request_update(UpdatePackage::new(dsu::v("2.0")))
+            .unwrap_err();
+        match err {
+            MvedsuaError::BadRules(diags) => {
+                assert!(diags.iter().any(|d| d.code == "RC0602"), "{diags}");
+            }
+            other => panic!("expected BadRules, got {other}"),
+        }
         session.shutdown();
     }
 

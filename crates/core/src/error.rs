@@ -1,6 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
+use dsl::Diagnostics;
 use dsu::UpdateError;
 
 /// Failures of the MVEDSUA controller API.
@@ -13,8 +14,10 @@ pub enum MvedsuaError {
         operation: &'static str,
         stage: String,
     },
-    /// The update's DSL rules did not parse.
-    BadRules(String),
+    /// The update's DSL rules were rejected before the fork: parse
+    /// failures and every `rulecheck` finding, rule name / line / column
+    /// intact.
+    BadRules(Diagnostics),
     /// A DSU-level failure (unknown version, no update path, ...).
     Dsu(UpdateError),
     /// The session is already shut down.
@@ -33,7 +36,13 @@ impl fmt::Display for MvedsuaError {
             MvedsuaError::WrongStage { operation, stage } => {
                 write!(f, "cannot {operation} during the {stage} stage")
             }
-            MvedsuaError::BadRules(m) => write!(f, "rewrite rules failed to parse: {m}"),
+            MvedsuaError::BadRules(ds) => {
+                write!(f, "rewrite rules rejected ({} error(s))", ds.error_count())?;
+                for d in ds.sorted_by_severity() {
+                    write!(f, "\n  {}", d.render())?;
+                }
+                Ok(())
+            }
             MvedsuaError::Dsu(e) => write!(f, "{e}"),
             MvedsuaError::Terminated => write!(f, "session already shut down"),
             MvedsuaError::UpdateDidNotStart => write!(f, "update never reached the fork point"),
@@ -71,5 +80,22 @@ mod tests {
             stage: "single-leader".into(),
         };
         assert!(w.to_string().contains("promote"));
+    }
+
+    #[test]
+    fn bad_rules_keeps_rule_name_and_position() {
+        let mut ds = Diagnostics::new();
+        ds.push(
+            dsl::Diagnostic::error("RC0101", "unbound variable `x`")
+                .at(dsl::Span::new(3, 12))
+                .in_rule("fixup"),
+        );
+        ds.push(dsl::Diagnostic::warning("RC0102", "unused binder `n`").in_rule("fixup"));
+        let text = MvedsuaError::BadRules(ds).to_string();
+        assert!(text.contains("rejected (1 error(s))"), "{text}");
+        assert!(text.contains("RC0101"), "{text}");
+        assert!(text.contains("`fixup`"), "{text}");
+        assert!(text.contains("3:12"), "{text}");
+        assert!(text.contains("RC0102"), "{text}");
     }
 }

@@ -75,6 +75,9 @@ pub enum TimelineEvent {
     Launched { version: Version },
     /// An update was queued.
     UpdateRequested { to: Version },
+    /// The update package was rejected by `rulecheck` at prepare time —
+    /// before any fork — with this many error-severity diagnostics.
+    UpdateRejected { errors: usize },
     /// The leader forked at a quiescent update point; the snapshot cost
     /// is the only service pause MVEDSUA incurs.
     Forked { snapshot_nanos: u64 },

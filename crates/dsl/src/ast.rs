@@ -1,5 +1,6 @@
 use std::fmt;
 
+use crate::diag::Span;
 use crate::value::Value;
 
 /// A parsed rule file: an ordered list of rules. Order matters — the
@@ -19,7 +20,7 @@ pub struct RuleDef {
     pub guard: Option<Block>,
     /// Replacement events (empty means the match is deleted).
     pub templates: Vec<Template>,
-    pub line: u32,
+    pub span: Span,
 }
 
 /// `name(arg, arg, ...)` on the left of `=>`.
@@ -27,7 +28,7 @@ pub struct RuleDef {
 pub struct Pattern {
     pub event: String,
     pub args: Vec<PatArg>,
-    pub line: u32,
+    pub span: Span,
 }
 
 /// One pattern argument.
@@ -63,7 +64,7 @@ pub enum LetLhs {
 pub struct Template {
     pub event: String,
     pub args: Vec<Expr>,
-    pub line: u32,
+    pub span: Span,
 }
 
 /// Binary operators, in the usual precedence groups.
@@ -115,11 +116,11 @@ pub enum UnOp {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Expr {
     Lit(Value),
-    Var(String, u32),
+    Var(String, Span),
     Unary(UnOp, Box<Expr>),
     Binary(BinOp, Box<Expr>, Box<Expr>),
     /// Builtin call `f(a, b)`.
-    Call(String, Vec<Expr>, u32),
+    Call(String, Vec<Expr>, Span),
     /// Indexing `e[i]` into lists, tuples, and strings.
     Index(Box<Expr>, Box<Expr>),
     /// Tuple constructor `(a, b)` (arity >= 2).

@@ -57,18 +57,40 @@ impl RuleSet {
     /// Parses rule source text.
     ///
     /// # Errors
-    /// Propagates lexer/parser failures.
+    /// Propagates lexer/parser failures and rejects duplicate rule names.
     pub fn parse(src: &str) -> Result<Self, DslError> {
-        Ok(RuleSet {
-            rules: parse_program(src)?.rules,
-        })
+        Self::from_program(parse_program(src)?)
     }
 
     /// Wraps an already-parsed program.
-    pub fn from_program(program: Program) -> Self {
-        RuleSet {
-            rules: program.rules,
+    ///
+    /// # Errors
+    /// Rejects duplicate rule names: under first-match-wins the second
+    /// definition is dead weight, which is always a mistake.
+    pub fn from_program(program: Program) -> Result<Self, DslError> {
+        let mut first: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+        for rule in &program.rules {
+            match first.get(rule.name.as_str()) {
+                Some(prev_line) => {
+                    return Err(DslError::at(
+                        format!(
+                            "duplicate rule name `{}` (first defined at line {prev_line})",
+                            rule.name
+                        ),
+                        rule.span.line,
+                        rule.span.col,
+                    )
+                    .in_rule(&rule.name));
+                }
+                None => {
+                    first.insert(&rule.name, rule.span.line);
+                }
+            }
         }
+        drop(first);
+        Ok(RuleSet {
+            rules: program.rules,
+        })
     }
 
     /// Number of rules (what the paper's Table 1 counts).

@@ -52,6 +52,11 @@ impl DslError {
         self.line
     }
 
+    /// Source column, if known.
+    pub fn col(&self) -> Option<u32> {
+        self.col
+    }
+
     /// Rule name, if the error arose during rule evaluation.
     pub fn rule(&self) -> Option<&str> {
         self.rule.as_deref()

@@ -9,6 +9,26 @@ use crate::value::Value;
 /// Signature of a host-registered function callable from rules.
 pub type BuiltinFn = Arc<dyn Fn(&[Value]) -> Result<Value, String> + Send + Sync>;
 
+/// Static metadata about a builtin, for the rule checker.
+///
+/// Functions registered through [`Builtins::register`] have no declared
+/// signature (`arity: None`) — the analyzer can then only check that the
+/// name exists. The standard library declares exact arities and purity
+/// (pure builtins may be constant-folded over literal arguments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BuiltinSig {
+    /// Exact argument count, if declared.
+    pub arity: Option<usize>,
+    /// True when the function is deterministic and side-effect free.
+    pub pure: bool,
+}
+
+#[derive(Clone)]
+struct BuiltinEntry {
+    f: BuiltinFn,
+    sig: BuiltinSig,
+}
+
 /// The function namespace visible to rules.
 ///
 /// Ships a standard library of string/collection helpers; applications
@@ -16,7 +36,7 @@ pub type BuiltinFn = Arc<dyn Fn(&[Value]) -> Result<Value, String> + Send + Sync
 /// paper's rules use to split a protocol line into a command tuple.
 #[derive(Clone)]
 pub struct Builtins {
-    fns: HashMap<String, BuiltinFn>,
+    fns: HashMap<String, BuiltinEntry>,
 }
 
 impl fmt::Debug for Builtins {
@@ -65,7 +85,7 @@ impl Builtins {
     /// `upper`, `lower`, `replace`, `nth`.
     pub fn standard() -> Self {
         let mut b = Builtins::new();
-        b.register("len", |args| {
+        b.register_std("len", 1, |args| {
             Ok(Value::Int(match arg(args, 0, "len")? {
                 Value::Str(s) => s.len() as i64,
                 Value::List(l) => l.len() as i64,
@@ -73,10 +93,10 @@ impl Builtins {
                 other => return Err(format!("len: unsupported type {}", other.type_name())),
             }))
         });
-        b.register("str", |args| {
+        b.register_std("str", 1, |args| {
             Ok(Value::Str(arg(args, 0, "str")?.to_display_string()))
         });
-        b.register("int", |args| {
+        b.register_std("int", 1, |args| {
             Ok(match arg(args, 0, "int")? {
                 Value::Int(n) => Value::Int(*n),
                 Value::Str(s) => s
@@ -87,7 +107,7 @@ impl Builtins {
                 _ => Value::Nil,
             })
         });
-        b.register("substr", |args| {
+        b.register_std("substr", 3, |args| {
             let s = str_arg(args, 0, "substr")?;
             let start = int_arg(args, 1, "substr")?.max(0) as usize;
             let end = (int_arg(args, 2, "substr")?.max(0) as usize).min(s.len());
@@ -96,22 +116,22 @@ impl Builtins {
             }
             Ok(Value::Str(s[start..end].to_string()))
         });
-        b.register("starts_with", |args| {
+        b.register_std("starts_with", 2, |args| {
             Ok(Value::Bool(
                 str_arg(args, 0, "starts_with")?.starts_with(str_arg(args, 1, "starts_with")?),
             ))
         });
-        b.register("ends_with", |args| {
+        b.register_std("ends_with", 2, |args| {
             Ok(Value::Bool(
                 str_arg(args, 0, "ends_with")?.ends_with(str_arg(args, 1, "ends_with")?),
             ))
         });
-        b.register("contains", |args| {
+        b.register_std("contains", 2, |args| {
             Ok(Value::Bool(
                 str_arg(args, 0, "contains")?.contains(str_arg(args, 1, "contains")?),
             ))
         });
-        b.register("split", |args| {
+        b.register_std("split", 2, |args| {
             let s = str_arg(args, 0, "split")?;
             let sep = str_arg(args, 1, "split")?;
             let parts: Vec<Value> = if sep.is_empty() {
@@ -123,7 +143,7 @@ impl Builtins {
             };
             Ok(Value::List(parts))
         });
-        b.register("join", |args| {
+        b.register_std("join", 2, |args| {
             let list = match arg(args, 0, "join")? {
                 Value::List(l) => l,
                 other => return Err(format!("join: expected list, got {}", other.type_name())),
@@ -136,22 +156,22 @@ impl Builtins {
                     .join(sep),
             ))
         });
-        b.register("trim", |args| {
+        b.register_std("trim", 1, |args| {
             Ok(Value::Str(str_arg(args, 0, "trim")?.trim().to_string()))
         });
-        b.register("upper", |args| {
+        b.register_std("upper", 1, |args| {
             Ok(Value::Str(str_arg(args, 0, "upper")?.to_uppercase()))
         });
-        b.register("lower", |args| {
+        b.register_std("lower", 1, |args| {
             Ok(Value::Str(str_arg(args, 0, "lower")?.to_lowercase()))
         });
-        b.register("replace", |args| {
+        b.register_std("replace", 3, |args| {
             Ok(Value::Str(str_arg(args, 0, "replace")?.replace(
                 str_arg(args, 1, "replace")?,
                 str_arg(args, 2, "replace")?,
             )))
         });
-        b.register("nth", |args| {
+        b.register_std("nth", 2, |args| {
             let i = int_arg(args, 1, "nth")?;
             let items = match arg(args, 0, "nth")? {
                 Value::List(l) => l,
@@ -167,18 +187,57 @@ impl Builtins {
         b
     }
 
-    /// Registers (or replaces) a function.
+    /// Registers (or replaces) a function with no declared signature:
+    /// the analyzer can only check that calls name an existing function.
     pub fn register(
         &mut self,
         name: &str,
         f: impl Fn(&[Value]) -> Result<Value, String> + Send + Sync + 'static,
     ) {
-        self.fns.insert(name.to_string(), Arc::new(f));
+        self.fns.insert(
+            name.to_string(),
+            BuiltinEntry {
+                f: Arc::new(f),
+                sig: BuiltinSig {
+                    arity: None,
+                    pure: false,
+                },
+            },
+        );
+    }
+
+    /// Registers a pure function with an exact arity (standard library).
+    fn register_std(
+        &mut self,
+        name: &str,
+        arity: usize,
+        f: impl Fn(&[Value]) -> Result<Value, String> + Send + Sync + 'static,
+    ) {
+        self.fns.insert(
+            name.to_string(),
+            BuiltinEntry {
+                f: Arc::new(f),
+                sig: BuiltinSig {
+                    arity: Some(arity),
+                    pure: true,
+                },
+            },
+        );
     }
 
     /// Looks up a function by name.
     pub fn get(&self, name: &str) -> Option<&BuiltinFn> {
-        self.fns.get(name)
+        self.fns.get(name).map(|e| &e.f)
+    }
+
+    /// Static signature metadata for a function, if registered.
+    pub fn signature(&self, name: &str) -> Option<BuiltinSig> {
+        self.fns.get(name).map(|e| e.sig)
+    }
+
+    /// True when `name` names a registered function.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fns.contains_key(name)
     }
 }
 
@@ -257,10 +316,10 @@ impl Env {
 pub fn eval_expr(expr: &Expr, env: &Env, builtins: &Builtins) -> Result<Value, DslError> {
     match expr {
         Expr::Lit(v) => Ok(v.clone()),
-        Expr::Var(name, line) => env
+        Expr::Var(name, span) => env
             .get(name)
             .cloned()
-            .ok_or_else(|| DslError::at(format!("unknown variable `{name}`"), *line, 0)),
+            .ok_or_else(|| DslError::at(format!("unknown variable `{name}`"), span.line, span.col)),
         Expr::Unary(op, inner) => {
             let v = eval_expr(inner, env, builtins)?;
             match op {
@@ -269,10 +328,10 @@ pub fn eval_expr(expr: &Expr, env: &Env, builtins: &Builtins) -> Result<Value, D
             }
         }
         Expr::Binary(op, lhs, rhs) => eval_binary(*op, lhs, rhs, env, builtins),
-        Expr::Call(name, args, line) => {
-            let f = builtins
-                .get(name)
-                .ok_or_else(|| DslError::at(format!("unknown function `{name}`"), *line, 0))?;
+        Expr::Call(name, args, span) => {
+            let f = builtins.get(name).ok_or_else(|| {
+                DslError::at(format!("unknown function `{name}`"), span.line, span.col)
+            })?;
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
                 vals.push(eval_expr(a, env, builtins)?);

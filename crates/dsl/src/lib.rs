@@ -56,7 +56,9 @@
 //! # Ok::<(), dsl::DslError>(())
 //! ```
 
+pub mod analyze;
 mod ast;
+pub mod diag;
 mod engine;
 mod error;
 mod eval;
@@ -66,10 +68,14 @@ mod printer;
 mod token;
 mod value;
 
+pub use analyze::{
+    analyze_program, check_source, parse_diagnostic, AnalysisContext, ArgKind, EventSig,
+};
 pub use ast::{BinOp, Block, Expr, LetLhs, PatArg, Pattern, Program, RuleDef, Template, UnOp};
+pub use diag::{Diagnostic, Diagnostics, Severity, Span};
 pub use engine::{RuleOutcome, RuleSet};
 pub use error::DslError;
-pub use eval::{Builtins, Env};
+pub use eval::{BuiltinSig, Builtins, Env};
 pub use event::Event;
 pub use parser::parse_program;
 pub use printer::print_program;

@@ -1,4 +1,5 @@
 use crate::ast::{BinOp, Block, Expr, LetLhs, PatArg, Pattern, Program, RuleDef, Template, UnOp};
+use crate::diag::Span;
 use crate::error::DslError;
 use crate::token::{tokenize, Token, TokenKind};
 use crate::value::Value;
@@ -76,14 +77,14 @@ impl Parser {
         matches!(self.peek(), Some(Token { kind: TokenKind::Ident(s), .. }) if s == kw)
     }
 
-    fn ident(&mut self, what: &str) -> Result<(String, u32), DslError> {
+    fn ident(&mut self, what: &str) -> Result<(String, Span), DslError> {
         match self.peek() {
             Some(Token {
                 kind: TokenKind::Ident(s),
                 line,
-                ..
+                col,
             }) => {
-                let out = (s.clone(), *line);
+                let out = (s.clone(), Span::new(*line, *col));
                 self.pos += 1;
                 Ok(out)
             }
@@ -94,7 +95,7 @@ impl Parser {
     // rule := "rule" IDENT "{" "on" patterns ["when" guard] "=>" templates "}"
     fn rule(&mut self) -> Result<RuleDef, DslError> {
         self.eat_keyword("rule")?;
-        let (name, line) = self.ident("rule name")?;
+        let (name, span) = self.ident("rule name")?;
         self.eat(&TokenKind::LBrace, "`{`")?;
         self.eat_keyword("on")?;
         let mut patterns = vec![self.pattern()?];
@@ -116,12 +117,12 @@ impl Parser {
             patterns,
             guard,
             templates,
-            line,
+            span,
         })
     }
 
     fn pattern(&mut self) -> Result<Pattern, DslError> {
-        let (event, line) = self.ident("event name")?;
+        let (event, span) = self.ident("event name")?;
         self.eat(&TokenKind::LParen, "`(`")?;
         let mut args = Vec::new();
         if !matches!(self.peek(), Some(t) if t.kind == TokenKind::RParen) {
@@ -136,7 +137,7 @@ impl Parser {
             }
         }
         self.eat(&TokenKind::RParen, "`)`")?;
-        Ok(Pattern { event, args, line })
+        Ok(Pattern { event, args, span })
     }
 
     fn pat_arg(&mut self) -> Result<PatArg, DslError> {
@@ -225,7 +226,7 @@ impl Parser {
     }
 
     fn template(&mut self) -> Result<Template, DslError> {
-        let (event, line) = self.ident("event name")?;
+        let (event, span) = self.ident("event name")?;
         self.eat(&TokenKind::LParen, "`(`")?;
         let mut args = Vec::new();
         if !matches!(self.peek(), Some(t) if t.kind == TokenKind::RParen) {
@@ -240,7 +241,7 @@ impl Parser {
             }
         }
         self.eat(&TokenKind::RParen, "`)`")?;
-        Ok(Template { event, args, line })
+        Ok(Template { event, args, span })
     }
 
     // ---- expressions, precedence climbing ---------------------------
@@ -366,9 +367,9 @@ impl Parser {
                             }
                         }
                         self.eat(&TokenKind::RParen, "`)`")?;
-                        Ok(Expr::Call(s, args, tok.line))
+                        Ok(Expr::Call(s, args, Span::new(tok.line, tok.col)))
                     } else {
-                        Ok(Expr::Var(s, tok.line))
+                        Ok(Expr::Var(s, Span::new(tok.line, tok.col)))
                     }
                 }
             },

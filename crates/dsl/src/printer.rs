@@ -5,6 +5,8 @@
 use std::fmt::Write as _;
 
 use crate::ast::{BinOp, Block, Expr, LetLhs, PatArg, Pattern, Program, RuleDef, Template, UnOp};
+#[cfg(test)]
+use crate::diag::Span;
 use crate::value::Value;
 
 /// Renders a program as parseable DSL source.
@@ -197,9 +199,9 @@ mod tests {
     fn strip_positions(mut p: Program) -> Program {
         fn fix_expr(e: &mut Expr) {
             match e {
-                Expr::Var(_, line) => *line = 0,
-                Expr::Call(_, args, line) => {
-                    *line = 0;
+                Expr::Var(_, span) => *span = Span::none(),
+                Expr::Call(_, args, span) => {
+                    *span = Span::none();
                     args.iter_mut().for_each(fix_expr);
                 }
                 Expr::Unary(_, inner) => fix_expr(inner),
@@ -216,9 +218,9 @@ mod tests {
             }
         }
         for rule in &mut p.rules {
-            rule.line = 0;
+            rule.span = Span::none();
             for pat in &mut rule.patterns {
-                pat.line = 0;
+                pat.span = Span::none();
             }
             if let Some(guard) = &mut rule.guard {
                 for (_, rhs) in &mut guard.lets {
@@ -227,7 +229,7 @@ mod tests {
                 fix_expr(&mut guard.value);
             }
             for t in &mut rule.templates {
-                t.line = 0;
+                t.span = Span::none();
                 t.args.iter_mut().for_each(fix_expr);
             }
         }

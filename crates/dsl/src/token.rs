@@ -110,24 +110,30 @@ impl<'a> Lexer<'a> {
             match self.bump() {
                 None => return Err(DslError::at("unterminated string literal", line, col)),
                 Some(b'"') => break,
-                Some(b'\\') => match self.bump() {
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'0') => out.push('\0'),
-                    other => {
-                        return Err(DslError::at(
-                            format!(
-                                "unknown escape \\{}",
-                                other.map(|c| c as char).unwrap_or(' ')
-                            ),
-                            self.line,
-                            self.col,
-                        ))
+                Some(b'\\') => {
+                    // Position of the escaped character itself, so the
+                    // error points at the offending `q` in `\q`, not one
+                    // column past it.
+                    let (esc_line, esc_col) = (self.line, self.col);
+                    match self.bump() {
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'0') => out.push('\0'),
+                        other => {
+                            return Err(DslError::at(
+                                format!(
+                                    "unknown escape \\{}",
+                                    other.map(|c| c as char).unwrap_or(' ')
+                                ),
+                                esc_line,
+                                esc_col,
+                            ))
+                        }
                     }
-                },
+                }
                 Some(c) => out.push(c as char),
             }
         }
@@ -444,5 +450,39 @@ mod tests {
     #[test]
     fn int_overflow_is_an_error() {
         assert!(tokenize("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn unknown_escape_points_at_offending_character() {
+        // `q` is the 5th column of `"ab\q"` — the error must name that
+        // position, not the column after it.
+        let err = tokenize("\"ab\\q\"").unwrap_err();
+        assert!(err.to_string().contains("unknown escape \\q"));
+        assert_eq!((err.line(), err.col()), (Some(1), Some(5)));
+    }
+
+    #[test]
+    fn unknown_escape_position_tracks_lines() {
+        let err = tokenize("a\n\"x\\z\"").unwrap_err();
+        assert_eq!((err.line(), err.col()), (Some(2), Some(4)));
+    }
+
+    #[test]
+    fn stray_character_reports_its_own_column() {
+        let err = tokenize("ab # c").unwrap_err();
+        assert_eq!((err.line(), err.col()), (Some(1), Some(4)));
+    }
+
+    #[test]
+    fn lone_ampersand_reports_its_own_column() {
+        let err = tokenize("a & b").unwrap_err();
+        assert!(err.to_string().contains("expected `&&`"));
+        assert_eq!((err.line(), err.col()), (Some(1), Some(3)));
+    }
+
+    #[test]
+    fn unterminated_string_reports_opening_quote_column() {
+        let err = tokenize("  \"oops").unwrap_err();
+        assert_eq!((err.line(), err.col()), (Some(1), Some(3)));
     }
 }

@@ -98,7 +98,8 @@ proptest! {
 // ---------------------------------------------------------------------
 
 use dsl::{
-    parse_program, print_program, Block, Expr, LetLhs, PatArg, Pattern, Program, RuleDef, Template,
+    parse_program, print_program, Block, Expr, LetLhs, PatArg, Pattern, Program, RuleDef, Span,
+    Template,
 };
 
 fn arb_ident() -> impl Strategy<Value = String> {
@@ -139,7 +140,7 @@ fn arb_lit() -> impl Strategy<Value = Value> {
 fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         arb_lit().prop_map(Expr::Lit),
-        arb_ident().prop_map(|name| Expr::Var(name, 0)),
+        arb_ident().prop_map(|name| Expr::Var(name, Span::none())),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
@@ -152,7 +153,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 .clone()
                 .prop_map(|e| Expr::Unary(dsl::UnOp::Not, Box::new(e))),
             (arb_ident(), proptest::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(name, args)| Expr::Call(name, args, 0)),
+                .prop_map(|(name, args)| Expr::Call(name, args, Span::none())),
             (inner.clone(), inner.clone()).prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i))),
             proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Tuple),
             proptest::collection::vec(inner, 0..3).prop_map(Expr::List),
@@ -195,7 +196,7 @@ fn arb_pattern() -> impl Strategy<Value = Pattern> {
         .prop_map(|(event, args)| Pattern {
             event,
             args,
-            line: 0,
+            span: Span::none(),
         })
 }
 
@@ -235,19 +236,19 @@ fn arb_rule() -> impl Strategy<Value = RuleDef> {
                 .map(|(event, args)| Template {
                     event,
                     args,
-                    line: 0,
+                    span: Span::none(),
                 })
                 .collect(),
-            line: 0,
+            span: Span::none(),
         })
 }
 
 fn strip(mut p: Program) -> Program {
     fn fix(e: &mut Expr) {
         match e {
-            Expr::Var(_, line) => *line = 0,
-            Expr::Call(_, args, line) => {
-                *line = 0;
+            Expr::Var(_, span) => *span = Span::none(),
+            Expr::Call(_, args, span) => {
+                *span = Span::none();
                 args.iter_mut().for_each(fix);
             }
             Expr::Unary(_, inner) => fix(inner),
@@ -264,14 +265,16 @@ fn strip(mut p: Program) -> Program {
         }
     }
     for rule in &mut p.rules {
-        rule.line = 0;
-        rule.patterns.iter_mut().for_each(|pat| pat.line = 0);
+        rule.span = Span::none();
+        rule.patterns
+            .iter_mut()
+            .for_each(|pat| pat.span = Span::none());
         if let Some(g) = &mut rule.guard {
             g.lets.iter_mut().for_each(|(_, rhs)| fix(rhs));
             fix(&mut g.value);
         }
         for t in &mut rule.templates {
-            t.line = 0;
+            t.span = Span::none();
             t.args.iter_mut().for_each(fix);
         }
     }
@@ -288,5 +291,21 @@ proptest! {
         let reparsed = parse_program(&printed)
             .unwrap_or_else(|e| panic!("printed program failed to parse: {e}\n{printed}"));
         prop_assert_eq!(strip(program), strip(reparsed), "{}", printed);
+    }
+
+    /// Source-level round trip: for any parseable source, `parse →
+    /// print_program → parse` yields an *identical* `Program` — spans
+    /// included, because printing is a fixpoint (`print(parse(print(p)))
+    /// == print(p)`).
+    #[test]
+    fn parse_print_parse_is_identity(rules in proptest::collection::vec(arb_rule(), 0..4)) {
+        let src = print_program(&Program { rules });
+        let first = parse_program(&src)
+            .unwrap_or_else(|e| panic!("printed program failed to parse: {e}\n{src}"));
+        let printed = print_program(&first);
+        prop_assert_eq!(&printed, &src, "printing is not a fixpoint");
+        let second = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reprinted program failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(first, second, "{}", printed);
     }
 }

@@ -83,7 +83,7 @@ pub use app::{DsuApp, StepOutcome};
 pub use control::{panic_message, serve, DsuControl, ServeExit, UpdateRequest};
 pub use error::UpdateError;
 pub use fault::{FaultPlan, XformFault};
-pub use registry::{UpdateSpec, VersionEntry, VersionRegistry};
+pub use registry::{CoverageIssue, UpdateSpec, VersionEntry, VersionRegistry};
 pub use state::AppState;
 pub use version::{v, Version};
 pub use xform::{FnTransformer, IdentityTransformer, ObservedTransformer, StateTransformer};

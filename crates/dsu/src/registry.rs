@@ -86,6 +86,53 @@ impl fmt::Debug for UpdateSpec {
     }
 }
 
+/// One finding from [`VersionRegistry::coverage_issues`]. The DSU layer
+/// has no dependency on the DSL's diagnostics, so findings are a plain
+/// enum; the deployment gate converts them to spanless diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoverageIssue {
+    /// An update spec references a version that was never registered.
+    DanglingEndpoint {
+        from: Version,
+        to: Version,
+        missing: Version,
+    },
+    /// No transformer chain connects a consecutively registered pair.
+    MissingChain { from: Version, to: Version },
+    /// The same `(from, to)` pair has more than one spec; the second is
+    /// unreachable.
+    DuplicateSpec { from: Version, to: Version },
+}
+
+impl CoverageIssue {
+    /// True for findings that make an update plan undeployable (a
+    /// duplicate spec is only dead weight).
+    pub fn is_error(&self) -> bool {
+        !matches!(self, CoverageIssue::DuplicateSpec { .. })
+    }
+}
+
+impl fmt::Display for CoverageIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverageIssue::DanglingEndpoint { from, to, missing } => write!(
+                f,
+                "update spec {from} -> {to} references unregistered version {missing}"
+            ),
+            CoverageIssue::MissingChain { from, to } => write!(
+                f,
+                "no transformer chain covers registered pair {from} -> {to}"
+            ),
+            CoverageIssue::DuplicateSpec { from, to } => {
+                write!(
+                    f,
+                    "duplicate update spec {from} -> {to}; the second is dead"
+                )
+            }
+        }
+    }
+}
+
 /// All known versions of one application and the update paths between
 /// them.
 #[derive(Clone, Debug, Default)]
@@ -164,6 +211,67 @@ impl VersionRegistry {
     /// Registered update paths, in registration order.
     pub fn updates(&self) -> &[UpdateSpec] {
         &self.updates
+    }
+
+    /// Static coverage check over the version graph, run by the
+    /// deployment gate: every update spec must connect registered
+    /// versions, every consecutively registered pair must be reachable
+    /// through a transformer chain, and no `(from, to)` pair may be
+    /// registered twice (lookup always takes the first — the second is
+    /// dead).
+    pub fn coverage_issues(&self) -> Vec<CoverageIssue> {
+        let mut issues = Vec::new();
+        let known: Vec<&Version> = self.versions();
+        for spec in &self.updates {
+            for end in [&spec.from, &spec.to] {
+                if !known.contains(&end) {
+                    issues.push(CoverageIssue::DanglingEndpoint {
+                        from: spec.from.clone(),
+                        to: spec.to.clone(),
+                        missing: end.clone(),
+                    });
+                }
+            }
+        }
+        for (i, a) in self.updates.iter().enumerate() {
+            if self.updates[..i]
+                .iter()
+                .any(|b| b.from == a.from && b.to == a.to)
+            {
+                issues.push(CoverageIssue::DuplicateSpec {
+                    from: a.from.clone(),
+                    to: a.to.clone(),
+                });
+            }
+        }
+        for pair in self.entries.windows(2) {
+            let (from, to) = (pair[0].version(), pair[1].version());
+            if !self.chain_exists(from, to) {
+                issues.push(CoverageIssue::MissingChain {
+                    from: from.clone(),
+                    to: to.clone(),
+                });
+            }
+        }
+        issues
+    }
+
+    /// True when a chain of update specs leads `from → … → to`.
+    fn chain_exists(&self, from: &Version, to: &Version) -> bool {
+        let mut frontier = vec![from];
+        let mut seen: Vec<&Version> = vec![from];
+        while let Some(v) = frontier.pop() {
+            if v == to {
+                return true;
+            }
+            for spec in &self.updates {
+                if &spec.from == v && !seen.contains(&&spec.to) {
+                    seen.push(&spec.to);
+                    frontier.push(&spec.to);
+                }
+            }
+        }
+        false
     }
 
     /// Performs a complete in-place update: extract state from `app`,
@@ -324,5 +432,87 @@ mod tests {
         assert_eq!(r.versions().len(), 2, "replaced, not appended");
         let app = r.boot(&v("1.0")).unwrap();
         assert_eq!(app.snapshot().downcast::<i64>().unwrap(), 99);
+    }
+
+    fn identity_spec(from: &str, to: &str) -> UpdateSpec {
+        UpdateSpec::new(from, to, Arc::new(FnTransformer::new("identity", Ok)))
+    }
+
+    #[test]
+    fn coverage_of_a_complete_registry_is_clean() {
+        assert_eq!(registry().coverage_issues(), vec![]);
+    }
+
+    #[test]
+    fn coverage_reports_dangling_endpoints() {
+        let mut r = registry();
+        r.register_update(identity_spec("2.0", "3.0"));
+        let issues = r.coverage_issues();
+        assert!(issues.contains(&CoverageIssue::DanglingEndpoint {
+            from: v("2.0"),
+            to: v("3.0"),
+            missing: v("3.0"),
+        }));
+        assert!(issues.iter().all(CoverageIssue::is_error));
+    }
+
+    #[test]
+    fn coverage_reports_a_missing_chain() {
+        let mut r = VersionRegistry::new();
+        for ver in ["1.0", "2.0"] {
+            r.register_version(VersionEntry::new(
+                v(ver),
+                move || {
+                    Box::new(VNum {
+                        version: v(ver),
+                        value: 0,
+                    })
+                },
+                |_| Err(UpdateError::StateTypeMismatch),
+            ));
+        }
+        assert_eq!(
+            r.coverage_issues(),
+            vec![CoverageIssue::MissingChain {
+                from: v("1.0"),
+                to: v("2.0"),
+            }]
+        );
+    }
+
+    #[test]
+    fn coverage_accepts_a_transitive_chain() {
+        // 1.0 -> 1.5 -> 2.0 covers every consecutively registered pair
+        // even though no direct 1.0 -> 2.0 spec exists.
+        let mut r = VersionRegistry::new();
+        for ver in ["1.0", "1.5", "2.0"] {
+            r.register_version(VersionEntry::new(
+                v(ver),
+                move || {
+                    Box::new(VNum {
+                        version: v(ver),
+                        value: 0,
+                    })
+                },
+                |_| Err(UpdateError::StateTypeMismatch),
+            ));
+        }
+        r.register_update(identity_spec("1.0", "1.5"));
+        r.register_update(identity_spec("1.5", "2.0"));
+        assert_eq!(r.coverage_issues(), vec![]);
+    }
+
+    #[test]
+    fn coverage_flags_duplicate_specs_as_warnings() {
+        let mut r = registry();
+        r.register_update(identity_spec("1.0", "2.0"));
+        let issues = r.coverage_issues();
+        let dup = CoverageIssue::DuplicateSpec {
+            from: v("1.0"),
+            to: v("2.0"),
+        };
+        assert!(issues.contains(&dup), "{issues:?}");
+        assert!(!dup.is_error());
+        assert!(dup.to_string().contains("duplicate update spec"));
     }
 }

@@ -23,13 +23,65 @@ use harness::trace::{failure_report, minimize};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: harness --seed N | harness [--base N] [--count N] [--verbose] | harness --scenarios\n       [--plant-bug]  corrupt the oracle's GET predictions to demo the failure path\n       [--obs]        attach the flight recorder (metrics + forensics on failure)\n       [--obs-out F]  write the canonical forensics JSON to F (implies --obs)"
+        "usage: harness --seed N | harness [--base N] [--count N] [--verbose] | harness --scenarios\n       [--plant-bug]  corrupt the oracle's GET predictions to demo the failure path\n       [--obs]        attach the flight recorder (metrics + forensics on failure)\n       [--obs-out F]  write the canonical forensics JSON to F (implies --obs)\n       harness lint [--json] [--corpus] [FILE...]   run rulecheck; exit 1 on errors"
     );
     ExitCode::from(2)
 }
 
+/// `harness lint`: run `rulecheck` over rule files and/or the embedded
+/// corpus; exit 1 when any error-severity diagnostic is found.
+fn lint_main(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut corpus = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--corpus" => corpus = true,
+            flag if flag.starts_with("--") => return usage(),
+            file => files.push(file.to_string()),
+        }
+    }
+    if !corpus && files.is_empty() {
+        corpus = true; // bare `harness lint` checks everything embedded
+    }
+    let mut targets = if corpus {
+        harness::lint::corpus()
+    } else {
+        Vec::new()
+    };
+    let std_builtins = std::sync::Arc::new(dsl::Builtins::standard());
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            Ok(src) => targets.push(harness::lint::LintTarget::new(
+                file.clone(),
+                src,
+                std_builtins.clone(),
+            )),
+            Err(e) => {
+                eprintln!("cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = harness::lint::LintReport::run(&targets);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("lint") {
+        return lint_main(&args[1..]);
+    }
     let mut seed: Option<u64> = None;
     let mut base: u64 = 0;
     let mut count: u64 = 200;

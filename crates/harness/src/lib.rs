@@ -28,6 +28,7 @@
 //! soaks and seed replay.
 
 pub mod engine;
+pub mod lint;
 pub mod model;
 pub mod plan;
 pub mod rng;

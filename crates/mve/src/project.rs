@@ -79,6 +79,33 @@ fn str_to_bytes(s: &str) -> Result<Vec<u8>, String> {
         .collect()
 }
 
+/// The syscall event vocabulary as a rule-checker signature table: one
+/// [`dsl::EventSig`] per projected event, kinds matching what
+/// [`syscall_event`] actually emits. This is what the deployment gate
+/// and `harness lint` check pattern/template events against.
+pub fn event_signatures() -> Vec<dsl::EventSig> {
+    use dsl::ArgKind::{Int, List, Str};
+    use dsl::EventSig;
+    vec![
+        EventSig::new("listen", &[Int, Int]),
+        EventSig::new("accept", &[Int, Int]),
+        EventSig::new("read", &[Int, Str, Int]),
+        EventSig::new("write", &[Int, Str, Int]),
+        EventSig::new("close", &[Int]),
+        EventSig::new("epoll_create", &[Int]),
+        EventSig::new("epoll_ctl", &[Int, Str, Int]),
+        EventSig::new("epoll_wait", &[Int, List]),
+        EventSig::new("open", &[Str, Str, Int]),
+        EventSig::new("unlink", &[Str]),
+        EventSig::new("stat", &[Str, Str, Int]),
+        EventSig::new("list", &[Str, List]),
+        EventSig::new("mkdir", &[Str]),
+        EventSig::new("rename", &[Str, Str]),
+        EventSig::new("now", &[Int]),
+        EventSig::new("pid", &[Int]),
+    ]
+}
+
 /// Projects a logged `(call, result)` pair into the DSL event the rule
 /// engine sees.
 pub fn syscall_event(call: &Syscall, ret: &SysRet) -> Event {
@@ -343,6 +370,26 @@ mod tests {
 
     fn fd(n: u64) -> Fd {
         Fd::from_raw(n)
+    }
+
+    /// The signature table stays in lock-step with the syscall
+    /// vocabulary: every declared event names a real syscall kind, and
+    /// every kind is declared.
+    #[test]
+    fn event_signatures_cover_the_syscall_vocabulary() {
+        let sigs = event_signatures();
+        for sig in &sigs {
+            assert!(
+                vos::SyscallKind::from_name(&sig.name).is_some(),
+                "signature for unknown syscall `{}`",
+                sig.name
+            );
+        }
+        let mut names: Vec<&str> = sigs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), sigs.len(), "duplicate signature");
+        assert_eq!(sigs.len(), 16);
     }
 
     /// Projection followed by reconstruction gives the original result,

@@ -23,7 +23,7 @@ pub const FWD_RULES_SRC: &str = r#"
     // Figure 4, Rule 1: typed PUTs become an invalid command for the
     // updated follower -- the old leader rejects them, so must it.
     rule put_typed_to_bad_cmd {
-        on read(fd, s, n)
+        on read(fd, s, _)
         when {
             let (cmd, typ, _, _) = parse(s);
             cmd == "PUT" && typ != nil
@@ -33,7 +33,7 @@ pub const FWD_RULES_SRC: &str = r#"
 
     // Same treatment for the new TYPE query.
     rule type_to_bad_cmd {
-        on read(fd, s, n)
+        on read(fd, s, _)
         when {
             let (cmd, _, _, _) = parse(s);
             cmd == "TYPE"

@@ -42,7 +42,7 @@ fn dsl_quote(s: &str) -> String {
 
 fn wording_rule(name: &str, leader_says: &str, follower_says: &str) -> String {
     format!(
-        "rule {name} {{\n    on write(fd, {}, n)\n    => write(fd, {}, {})\n}}\n",
+        "rule {name} {{\n    on write(fd, {}, _)\n    => write(fd, {}, {})\n}}\n",
         dsl_quote(leader_says),
         dsl_quote(follower_says),
         follower_says.len()
@@ -54,7 +54,7 @@ fn wording_rule(name: &str, leader_says: &str, follower_says: &str) -> String {
 fn unknown_command_rule() -> String {
     concat!(
         "rule unknown_cmd_redirect {\n",
-        "    on read(fd, s, n), write(fd, \"500 Unknown command.\\r\\n\", m)\n",
+        "    on read(fd, _, _), write(fd, \"500 Unknown command.\\r\\n\", m)\n",
         "    => read(fd, \"FOOBAR\\r\\n\", 8), write(fd, \"500 Unknown command.\\r\\n\", m)\n",
         "}\n"
     )
@@ -145,15 +145,15 @@ pub fn rev_rules_src(from: &VsftpdFeatures, to: &VsftpdFeatures) -> String {
             // STOU: read, create-new open, close, completion write.
             "STOU" => (
                 "stou_tolerate",
-                "read(fd, s, n), open(p, m, fd2), close(fd3), write(fd, r, k)",
+                "read(fd, s, n), open(_, _, _), close(_), write(fd, _, _)",
             ),
             // MDTM: read, stat, reply write.
             "MDTM" => (
                 "mdtm_tolerate",
-                "read(fd, s, n), stat(p, k2, sz), write(fd, r, k)",
+                "read(fd, s, n), stat(_, _, _), write(fd, _, _)",
             ),
             // FEAT / REST: read, reply write.
-            _ => ("simple_tolerate", "read(fd, s, n), write(fd, r, k)"),
+            _ => ("simple_tolerate", "read(fd, s, n), write(fd, _, _)"),
         };
         let _ = write!(
             src,

@@ -42,11 +42,17 @@ obs-smoke:
 bench-obs:
     cargo run --release -p mvedsua-bench --bin obs_bench
 
+# Rulecheck over every embedded rule program (kvstore, redis, vsftpd)
+# plus the clean fixture; exits 1 on any error-severity diagnostic.
+lint-rules:
+    cargo run --release -p mvedsua-harness -- lint --corpus tests/fixtures/rules/good_wording.rules
+
 # Mirror of the CI pipeline: lint, tier-1 verify, chaos smoke, bench smoke.
 ci:
     cargo fmt --all -- --check
     cargo clippy --workspace --all-targets -- -D warnings
     just verify
+    just lint-rules
     just chaos-smoke
     just bench-ring-smoke
 
