@@ -39,7 +39,7 @@ fn bench_ring(c: &mut Criterion) {
             record: SyscallRecord {
                 call: Syscall::Write {
                     fd: vos::Fd::from_raw(9),
-                    data: b"+OK\r\n".to_vec(),
+                    data: b"+OK\r\n".to_vec().into(),
                 },
                 ret: SysRet::Size(5),
             },
@@ -105,7 +105,7 @@ fn bench_projection(c: &mut Criterion) {
         fd: vos::Fd::from_raw(9),
         max: 4096,
     };
-    let ret = SysRet::Data(b"GET key:123\r\n".to_vec());
+    let ret = SysRet::Data(b"GET key:123\r\n".to_vec().into());
     c.bench_function("project_syscall_event", |b| {
         b.iter(|| syscall_event(&call, &ret))
     });

@@ -50,7 +50,7 @@ fn ring_capacity_sweep() {
             record: SyscallRecord {
                 call: Syscall::Write {
                     fd: vos::Fd::from_raw(9),
-                    data: b"+OK\r\n".to_vec(),
+                    data: b"+OK\r\n".to_vec().into(),
                 },
                 ret: SysRet::Size(5),
             },

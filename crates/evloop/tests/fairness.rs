@@ -1,0 +1,120 @@
+//! Round-robin fairness of the event loop's dispatch cursor on top of
+//! the per-fd readiness notifiers: with every connection ready, the
+//! cursor must hand the lead slot to each registration in turn, exactly
+//! as it did over the old global-generation wakeup — this is the state
+//! the paper's Memcached timing error (§5.3) hinges on.
+
+use std::thread;
+
+use evloop::EventLoop;
+use vos::{DirectOs, Os, VirtualKernel};
+
+#[test]
+fn round_robin_cursor_is_fair_when_all_connections_stay_ready() {
+    const CONNS: usize = 5;
+    const LAPS: usize = 8;
+
+    let kernel = VirtualKernel::new();
+    let mut os = DirectOs::new(kernel.clone());
+    let listener = kernel.listen(7100).unwrap();
+
+    let mut ev: EventLoop<usize> = EventLoop::new();
+    let mut clients = Vec::new();
+    for i in 0..CONNS {
+        let client = kernel.connect(7100).unwrap();
+        let server = os.accept(listener).unwrap();
+        ev.register(&mut os, server, i).unwrap();
+        clients.push(client);
+    }
+
+    // Make every connection ready from separate threads, then poll
+    // CONNS*LAPS times without draining: the lead token must cycle
+    // 0,1,2,…,0,1,2,… regardless of which write landed last.
+    let mut writers = Vec::new();
+    for &client in &clients {
+        let k = kernel.clone();
+        writers.push(thread::spawn(move || {
+            k.client_send(client, b"go").unwrap();
+        }));
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
+
+    let mut lead_counts = vec![0usize; CONNS];
+    for poll in 0..CONNS * LAPS {
+        let ready = ev.poll(&mut os, CONNS, 1_000).unwrap();
+        assert_eq!(ready.len(), CONNS, "poll {poll}: all stay ready");
+        let lead = ready[0].1;
+        assert_eq!(lead, poll % CONNS, "poll {poll}: cursor skipped a turn");
+        lead_counts[lead] += 1;
+        // Rotated order: tokens ascend modulo CONNS from the lead.
+        for (k, (_, tok)) in ready.iter().enumerate() {
+            assert_eq!(*tok, (lead + k) % CONNS, "poll {poll}: order not rotated");
+        }
+    }
+    assert!(
+        lead_counts.iter().all(|&c| c == LAPS),
+        "unfair dispatch: {lead_counts:?}"
+    );
+}
+
+/// Fairness also survives interleaved drain/refill traffic: a connection
+/// that goes quiet for one poll re-enters the rotation at its
+/// registration slot, not at the back of a wakeup queue.
+#[test]
+fn cursor_rotation_survives_drain_and_refill() {
+    const CONNS: usize = 4;
+
+    let kernel = VirtualKernel::new();
+    let mut os = DirectOs::new(kernel.clone());
+    let listener = kernel.listen(7101).unwrap();
+
+    let mut ev: EventLoop<usize> = EventLoop::new();
+    let mut conns = Vec::new();
+    for i in 0..CONNS {
+        let client = kernel.connect(7101).unwrap();
+        let server = os.accept(listener).unwrap();
+        ev.register(&mut os, server, i).unwrap();
+        conns.push((client, server));
+    }
+
+    for round in 0..24 {
+        // This round's quiet connection writes nothing.
+        let quiet = round % CONNS;
+        let mut writers = Vec::new();
+        for (i, &(client, _)) in conns.iter().enumerate() {
+            if i == quiet {
+                continue;
+            }
+            let k = kernel.clone();
+            writers.push(thread::spawn(move || {
+                k.client_send(client, b"x").unwrap();
+            }));
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let ready = ev.poll(&mut os, CONNS, 1_000).unwrap();
+        assert_eq!(ready.len(), CONNS - 1, "round {round}");
+        assert!(
+            ready.iter().all(|&(_, tok)| tok != quiet),
+            "round {round}: quiet connection reported ready"
+        );
+        // Tokens appear in ascending rotated order with the quiet slot
+        // skipped — registration order, not arrival order.
+        let toks: Vec<usize> = ready.iter().map(|&(_, t)| t).collect();
+        let mut sorted_rot = toks.clone();
+        sorted_rot.sort_unstable();
+        let lead = toks[0];
+        let pos = sorted_rot.iter().position(|&t| t == lead).unwrap();
+        sorted_rot.rotate_left(pos);
+        assert_eq!(toks, sorted_rot, "round {round}: not registration order");
+        // Drain so the next round starts clean.
+        for &(_, tok) in &ready {
+            let (_, server) = conns[tok];
+            let got = os.read_timeout(server, 8, 1_000).unwrap();
+            assert_eq!(got, b"x");
+        }
+    }
+}

@@ -45,6 +45,8 @@ mod variant;
 pub use divergence::{Divergence, RetireReason, RetiredSignal};
 pub use event::{ControlRecord, EventRecord, EventRing, SyscallRecord};
 pub use lockstep::{LagPlan, LockstepMode};
-pub use project::{event_signatures, reconstruct_result, request_matches, syscall_event};
+pub use project::{
+    event_signatures, reconstruct_result, record_matches, request_matches, syscall_event,
+};
 pub use stats::SyscallStats;
 pub use variant::{FollowerConfig, LeaderConfig, Notice, NoticeKind, Role, VariantId, VariantOs};

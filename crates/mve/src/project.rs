@@ -36,7 +36,7 @@
 //! cannot be encoded back into bytes and are reported as malformed.
 
 use dsl::{Event, Value};
-use vos::{Errno, Fd, FileStat, NodeKind, OpenMode, SysRet, Syscall};
+use vos::{Buf, Errno, Fd, FileStat, NodeKind, OpenMode, SysRet, Syscall};
 
 fn fd_val(fd: Fd) -> Value {
     Value::Int(fd.as_raw() as i64)
@@ -108,35 +108,32 @@ pub fn event_signatures() -> Vec<dsl::EventSig> {
 
 /// Projects a logged `(call, result)` pair into the DSL event the rule
 /// engine sees.
+///
+/// Result fields are *borrowed* from `ret` (the [`SysRet::as_data`]
+/// family); nothing about the logged record is cloned beyond the values
+/// the event itself carries.
 pub fn syscall_event(call: &Syscall, ret: &SysRet) -> Event {
     let error = ret.as_err().map(|e| e.as_str().to_string());
     let ok = error.is_none();
+    let ret_fd = || ret.as_fd().map(fd_val).unwrap_or(Value::Int(-1));
     let args = match call {
         Syscall::Listen { port } => vec![
             Value::Int(*port as i64),
-            if ok {
-                ret.clone().into_fd().map(fd_val).unwrap_or(Value::Int(-1))
-            } else {
-                Value::Int(-1)
-            },
+            if ok { ret_fd() } else { Value::Int(-1) },
         ],
         Syscall::Accept { listener } => vec![
             fd_val(*listener),
-            if ok {
-                ret.clone().into_fd().map(fd_val).unwrap_or(Value::Int(-1))
-            } else {
-                Value::Int(-1)
-            },
+            if ok { ret_fd() } else { Value::Int(-1) },
         ],
         Syscall::Read { fd, .. } | Syscall::ReadTimeout { fd, .. } => {
-            let data = if ok {
-                ret.clone().into_data().unwrap_or_default()
+            let data: &[u8] = if ok {
+                ret.as_data().map(|d| d.as_slice()).unwrap_or(&[])
             } else {
-                Vec::new()
+                &[]
             };
             vec![
                 fd_val(*fd),
-                bytes_val(&data),
+                bytes_val(data),
                 if ok {
                     Value::Int(data.len() as i64)
                 } else {
@@ -148,54 +145,42 @@ pub fn syscall_event(call: &Syscall, ret: &SysRet) -> Event {
             fd_val(*fd),
             bytes_val(data),
             if ok {
-                Value::Int(ret.clone().into_size().unwrap_or(0) as i64)
+                Value::Int(ret.as_size().unwrap_or(0) as i64)
             } else {
                 Value::Int(-1)
             },
         ],
         Syscall::Close { fd } => vec![fd_val(*fd)],
-        Syscall::EpollCreate => vec![if ok {
-            ret.clone().into_fd().map(fd_val).unwrap_or(Value::Int(-1))
-        } else {
-            Value::Int(-1)
-        }],
+        Syscall::EpollCreate => vec![if ok { ret_fd() } else { Value::Int(-1) }],
         Syscall::EpollCtl { ep, op, fd } => vec![
             fd_val(*ep),
             Value::Str(op_name(*op).to_string()),
             fd_val(*fd),
         ],
         Syscall::EpollWait { ep, .. } => {
-            let fds = if ok {
-                ret.clone().into_fds().unwrap_or_default()
-            } else {
-                Vec::new()
-            };
+            let fds = if ok { ret.as_fds().unwrap_or(&[]) } else { &[] };
             vec![
                 fd_val(*ep),
-                Value::List(fds.into_iter().map(fd_val).collect()),
+                Value::List(fds.iter().copied().map(fd_val).collect()),
             ]
         }
         Syscall::FsOpen { path, mode } => vec![
             Value::Str(path.clone()),
             Value::Str(mode_name(*mode).to_string()),
-            if ok {
-                ret.clone().into_fd().map(fd_val).unwrap_or(Value::Int(-1))
-            } else {
-                Value::Int(-1)
-            },
+            if ok { ret_fd() } else { Value::Int(-1) },
         ],
         Syscall::FsUnlink { path } => vec![Value::Str(path.clone())],
         Syscall::FsStat { path } => {
             let (kind, size) = if ok {
-                match ret.clone().into_stat() {
-                    Ok(st) => (
+                match ret.as_stat() {
+                    Some(st) => (
                         match st.kind {
                             NodeKind::File => "file",
                             NodeKind::Dir => "dir",
                         },
                         st.size as i64,
                     ),
-                    Err(_) => ("", -1),
+                    None => ("", -1),
                 }
             } else {
                 ("", -1)
@@ -208,13 +193,13 @@ pub fn syscall_event(call: &Syscall, ret: &SysRet) -> Event {
         }
         Syscall::FsList { path } => {
             let names = if ok {
-                ret.clone().into_names().unwrap_or_default()
+                ret.as_names().unwrap_or(&[])
             } else {
-                Vec::new()
+                &[]
             };
             vec![
                 Value::Str(path.clone()),
-                Value::List(names.into_iter().map(Value::Str).collect()),
+                Value::List(names.iter().cloned().map(Value::Str).collect()),
             ]
         }
         Syscall::FsMkdir { path } => vec![Value::Str(path.clone())],
@@ -222,12 +207,12 @@ pub fn syscall_event(call: &Syscall, ret: &SysRet) -> Event {
             vec![Value::Str(from.clone()), Value::Str(to.clone())]
         }
         Syscall::Now => vec![if ok {
-            Value::Int(ret.clone().into_time().unwrap_or(0) as i64)
+            Value::Int(ret.as_time().unwrap_or(0) as i64)
         } else {
             Value::Int(-1)
         }],
         Syscall::Pid => vec![if ok {
-            Value::Int(ret.clone().into_pid().unwrap_or(0) as i64)
+            Value::Int(ret.as_pid().unwrap_or(0) as i64)
         } else {
             Value::Int(-1)
         }],
@@ -256,6 +241,67 @@ fn fd_eq(v: &Value, fd: Fd) -> bool {
     int_of(v) == Some(fd.as_raw() as i64)
 }
 
+/// Raw-record twin of [`request_matches`]: does the follower's
+/// *attempted* syscall agree with the leader's *logged* call on the
+/// request fields, compared record-to-record with no event projection?
+///
+/// This is the identity fast path's comparison. It is equivalent to
+/// `request_matches(&syscall_event(expected, ret), attempted)` for every
+/// directly-projected record: the Latin-1 byte↔char projection is
+/// injective, so payload equality on the projected strings is payload
+/// equality on the bytes — which for shared [`Buf`]s short-circuits on
+/// pointer identity without touching the payload at all.
+pub fn record_matches(expected: &Syscall, attempted: &Syscall) -> bool {
+    // `Read` and `ReadTimeout` share a kind (and an event name): a
+    // leader `read` may legitimately be replayed as `read_timeout`.
+    if expected.kind() != attempted.kind() {
+        return false;
+    }
+    match (expected, attempted) {
+        (Syscall::Listen { port: a }, Syscall::Listen { port: b }) => a == b,
+        (Syscall::Accept { listener: a }, Syscall::Accept { listener: b }) => a == b,
+        (
+            Syscall::Read { fd: a, .. } | Syscall::ReadTimeout { fd: a, .. },
+            Syscall::Read { fd: b, .. } | Syscall::ReadTimeout { fd: b, .. },
+        ) => a == b,
+        (
+            Syscall::Write {
+                fd: a, data: da, ..
+            },
+            Syscall::Write {
+                fd: b, data: db, ..
+            },
+        ) => a == b && da == db,
+        (Syscall::Close { fd: a }, Syscall::Close { fd: b }) => a == b,
+        (Syscall::EpollCreate, Syscall::EpollCreate) => true,
+        (
+            Syscall::EpollCtl {
+                ep: ea,
+                op: oa,
+                fd: fa,
+            },
+            Syscall::EpollCtl {
+                ep: eb,
+                op: ob,
+                fd: fb,
+            },
+        ) => ea == eb && oa == ob && fa == fb,
+        (Syscall::EpollWait { ep: a, .. }, Syscall::EpollWait { ep: b, .. }) => a == b,
+        (Syscall::FsOpen { path: pa, mode: ma }, Syscall::FsOpen { path: pb, mode: mb }) => {
+            pa == pb && ma == mb
+        }
+        (Syscall::FsUnlink { path: a }, Syscall::FsUnlink { path: b })
+        | (Syscall::FsStat { path: a }, Syscall::FsStat { path: b })
+        | (Syscall::FsList { path: a }, Syscall::FsList { path: b })
+        | (Syscall::FsMkdir { path: a }, Syscall::FsMkdir { path: b }) => a == b,
+        (Syscall::FsRename { from: fa, to: ta }, Syscall::FsRename { from: fb, to: tb }) => {
+            fa == fb && ta == tb
+        }
+        (Syscall::Now, Syscall::Now) | (Syscall::Pid, Syscall::Pid) => true,
+        _ => false,
+    }
+}
+
 /// Does the follower's *attempted* syscall agree with the expected event
 /// on the request fields? (Response fields come from the leader and are
 /// not compared.)
@@ -269,7 +315,8 @@ pub fn request_matches(expected: &Event, attempted: &Syscall) -> bool {
         Syscall::Accept { listener } => fd_eq(&a[0], *listener),
         Syscall::Read { fd, .. } | Syscall::ReadTimeout { fd, .. } => fd_eq(&a[0], *fd),
         Syscall::Write { fd, data } => {
-            fd_eq(&a[0], *fd) && str_of(&a[1]).map(str_to_bytes) == Some(Ok(data.clone()))
+            fd_eq(&a[0], *fd)
+                && str_of(&a[1]).is_some_and(|s| matches!(str_to_bytes(s), Ok(b) if b == *data))
         }
         Syscall::Close { fd } => fd_eq(&a[0], *fd),
         Syscall::EpollCreate => true,
@@ -307,9 +354,9 @@ pub fn reconstruct_result(expected: &Event, attempted: &Syscall) -> Result<SysRe
         Syscall::Listen { .. } | Syscall::Accept { .. } => SysRet::Fd(Fd::from_raw(
             int_of(&a[1]).ok_or_else(|| bad("fd result"))? as u64,
         )),
-        Syscall::Read { .. } | Syscall::ReadTimeout { .. } => SysRet::Data(str_to_bytes(
-            str_of(&a[1]).ok_or_else(|| bad("read data"))?,
-        )?),
+        Syscall::Read { .. } | Syscall::ReadTimeout { .. } => SysRet::Data(Buf::from_vec(
+            str_to_bytes(str_of(&a[1]).ok_or_else(|| bad("read data"))?)?,
+        )),
         Syscall::Write { .. } => {
             SysRet::Size(int_of(&a[2]).ok_or_else(|| bad("write size"))?.max(0) as usize)
         }
@@ -401,7 +448,7 @@ mod tests {
             (Syscall::Accept { listener: fd(3) }, SysRet::Fd(fd(9))),
             (
                 Syscall::Read { fd: fd(9), max: 64 },
-                SysRet::Data(b"GET k\r\n".to_vec()),
+                SysRet::Data(b"GET k\r\n".to_vec().into()),
             ),
             (
                 Syscall::ReadTimeout {
@@ -409,12 +456,12 @@ mod tests {
                     max: 64,
                     timeout_ms: 5,
                 },
-                SysRet::Data(b"x".to_vec()),
+                SysRet::Data(b"x".to_vec().into()),
             ),
             (
                 Syscall::Write {
                     fd: fd(9),
-                    data: b"+OK\r\n".to_vec(),
+                    data: b"+OK\r\n".to_vec().into(),
                 },
                 SysRet::Size(5),
             ),
@@ -490,7 +537,7 @@ mod tests {
     #[test]
     fn read_matches_on_fd_only() {
         let leader = Syscall::Read { fd: fd(5), max: 64 };
-        let event = syscall_event(&leader, &SysRet::Data(b"data".to_vec()));
+        let event = syscall_event(&leader, &SysRet::Data(b"data".to_vec().into()));
         // Follower may use a different max / timeout form.
         let follower = Syscall::ReadTimeout {
             fd: fd(5),
@@ -506,17 +553,17 @@ mod tests {
     fn write_matches_on_fd_and_payload() {
         let leader = Syscall::Write {
             fd: fd(5),
-            data: b"+OK\r\n".to_vec(),
+            data: b"+OK\r\n".to_vec().into(),
         };
         let event = syscall_event(&leader, &SysRet::Size(5));
         let same = Syscall::Write {
             fd: fd(5),
-            data: b"+OK\r\n".to_vec(),
+            data: b"+OK\r\n".to_vec().into(),
         };
         assert!(request_matches(&event, &same));
         let different_payload = Syscall::Write {
             fd: fd(5),
-            data: b"+NO\r\n".to_vec(),
+            data: b"+NO\r\n".to_vec().into(),
         };
         assert!(
             !request_matches(&event, &different_payload),
@@ -545,7 +592,7 @@ mod tests {
         assert!(request_matches(&event, &attempted));
         assert_eq!(
             reconstruct_result(&event, &attempted).unwrap(),
-            SysRet::Data(b"bad-cmd".to_vec())
+            SysRet::Data(b"bad-cmd".to_vec().into())
         );
     }
 

@@ -148,12 +148,12 @@ mod tests {
                 fd: Fd::from_raw(9),
                 max: 64,
             },
-            &SysRet::Data(b"abcd".to_vec()),
+            &SysRet::Data(b"abcd".to_vec().into()),
         );
         s.track(
             &Syscall::Write {
                 fd: Fd::from_raw(9),
-                data: b"xy".to_vec(),
+                data: b"xy".to_vec().into(),
             },
             &SysRet::Size(2),
         );
@@ -169,7 +169,7 @@ mod tests {
         s.track(
             &Syscall::Write {
                 fd: Fd::from_raw(9),
-                data: b"abcdefgh".to_vec(),
+                data: b"abcdefgh".to_vec().into(),
             },
             &SysRet::Size(3),
         );
@@ -178,7 +178,7 @@ mod tests {
         s.track(
             &Syscall::Write {
                 fd: Fd::from_raw(9),
-                data: b"abcdefgh".to_vec(),
+                data: b"abcdefgh".to_vec().into(),
             },
             &SysRet::Err(Errno::BadFd),
         );
@@ -219,7 +219,7 @@ mod tests {
         s.track(
             &Syscall::Write {
                 fd: Fd::from_raw(3),
-                data: b"hi".to_vec(),
+                data: b"hi".to_vec().into(),
             },
             &SysRet::Size(2),
         );

@@ -14,8 +14,9 @@ use vos::{
 use crate::divergence::{Divergence, RetireReason, RetiredSignal};
 use crate::event::{ControlRecord, EventRecord, EventRing, SyscallRecord};
 use crate::lockstep::{LagPlan, LockstepMode};
-use crate::project::{reconstruct_result, request_matches, syscall_event};
+use crate::project::{reconstruct_result, record_matches, request_matches, syscall_event};
 use crate::stats::SyscallStats;
+use vos::Buf;
 
 /// Identifies a variant in notices and logs (0 = the original leader,
 /// 1 = first forked follower, ...).
@@ -93,14 +94,29 @@ struct LeaderState {
     seq: u64,
 }
 
+/// One queued expectation on the follower side.
+///
+/// The identity fast path (no rewrite rules) queues the leader's raw
+/// [`SyscallRecord`]: the comparison runs record-to-record
+/// ([`record_matches`]) and the replayed result is the logged `SysRet`
+/// itself — a refcount bump on any shared payload, with the DSL event
+/// projected only lazily if a divergence must be reported. The rules
+/// path queues projected (possibly rule-synthesized) [`Event`]s as
+/// before.
+enum Expected {
+    Record(SyscallRecord),
+    Event(Event),
+}
+
 struct FollowerState {
     ring: EventRing,
     rules: Arc<RuleSet>,
     builtins: Arc<Builtins>,
-    /// Expected events with the leader seq each one is attributed to
-    /// (the last record of the rule window that emitted it), so
-    /// divergence reports stay identical whatever the refill batch size.
-    expected: VecDeque<(u64, Event)>,
+    /// Expected records/events with the leader seq each one is
+    /// attributed to (the last record of the rule window that emitted
+    /// it), so divergence reports stay identical whatever the refill
+    /// batch size.
+    expected: VecDeque<(u64, Expected)>,
     /// A `Demote` marker was consumed; promote once `expected` drains.
     promote_pending: bool,
     promote_to: Option<LeaderConfig>,
@@ -404,7 +420,9 @@ fn execute_call(k: &Arc<VirtualKernel>, pid: u32, call: &Syscall) -> SysRet {
             k.read(*fd, *max, Some(Duration::from_millis(*timeout_ms))),
             SysRet::Data,
         ),
-        Syscall::Write { fd, data } => wrap(k.write(*fd, data), SysRet::Size),
+        // A clone of a `Buf` is a refcount bump: the payload the server
+        // handed us is the very allocation the peer's inbox receives.
+        Syscall::Write { fd, data } => wrap(k.write_buf(*fd, data.clone()), SysRet::Size),
         Syscall::Close { fd } => wrap(k.close(*fd), |_| SysRet::Unit),
         Syscall::EpollCreate => wrap(k.epoll_create(), SysRet::Fd),
         Syscall::EpollCtl { ep, op, fd } => wrap(k.epoll_ctl(*ep, *op, *fd), |_| SysRet::Unit),
@@ -611,14 +629,29 @@ impl VariantOs {
         loop {
             if let Some((seq, front)) = state.expected.front() {
                 let seq = *seq;
-                if !request_matches(front, call) {
-                    let front = front.clone();
+                let matches = match front {
+                    Expected::Record(rec) => record_matches(&rec.call, call),
+                    Expected::Event(event) => request_matches(event, call),
+                };
+                if !matches {
+                    // Cold path: project the record into its event only
+                    // now that a report must be rendered.
+                    let front = match front {
+                        Expected::Record(rec) => syscall_event(&rec.call, &rec.ret),
+                        Expected::Event(event) => event.clone(),
+                    };
                     diverge(Some(&front), String::new(), seq);
                 }
-                let (seq, event) = state.expected.pop_front().expect("checked front");
-                match reconstruct_result(&event, call) {
-                    Ok(ret) => return FollowerVerdict::Ret { ret, seq },
-                    Err(detail) => diverge(Some(&event), detail, seq),
+                let (seq, front) = state.expected.pop_front().expect("checked front");
+                match front {
+                    // Identity fast path: the leader's logged result IS
+                    // the replayed result — no reconstruction, and any
+                    // payload is shared, not copied.
+                    Expected::Record(rec) => return FollowerVerdict::Ret { ret: rec.ret, seq },
+                    Expected::Event(event) => match reconstruct_result(&event, call) {
+                        Ok(ret) => return FollowerVerdict::Ret { ret, seq },
+                        Err(detail) => diverge(Some(&event), detail, seq),
+                    },
                 }
             }
             if state.promote_pending {
@@ -656,9 +689,7 @@ impl VariantOs {
                                 !state.promote_pending,
                                 "leader pushed records after Demote"
                             );
-                            state
-                                .expected
-                                .push_back((seq, syscall_event(&record.call, &record.ret)));
+                            state.expected.push_back((seq, Expected::Record(record)));
                         }
                     }
                 }
@@ -719,9 +750,12 @@ impl VariantOs {
                                 pos: window_last_seq,
                             });
                         }
-                        state
-                            .expected
-                            .extend(outcome.emitted.into_iter().map(|ev| (window_last_seq, ev)));
+                        state.expected.extend(
+                            outcome
+                                .emitted
+                                .into_iter()
+                                .map(|ev| (window_last_seq, Expected::Event(ev))),
+                        );
                         offset += outcome.consumed;
                     }
                     Err(e) => diverge(
@@ -754,11 +788,11 @@ impl Os for VariantOs {
         self.dispatch(Syscall::Accept { listener }).into_fd()
     }
 
-    fn read(&mut self, fd: Fd, max: usize) -> OsResult<Vec<u8>> {
+    fn read(&mut self, fd: Fd, max: usize) -> OsResult<Buf> {
         self.dispatch(Syscall::Read { fd, max }).into_data()
     }
 
-    fn read_timeout(&mut self, fd: Fd, max: usize, timeout_ms: u64) -> OsResult<Vec<u8>> {
+    fn read_timeout(&mut self, fd: Fd, max: usize, timeout_ms: u64) -> OsResult<Buf> {
         self.dispatch(Syscall::ReadTimeout {
             fd,
             max,
@@ -770,9 +804,15 @@ impl Os for VariantOs {
     fn write(&mut self, fd: Fd, data: &[u8]) -> OsResult<usize> {
         self.dispatch(Syscall::Write {
             fd,
-            data: data.to_vec(),
+            data: Buf::copy_from_slice(data),
         })
         .into_size()
+    }
+
+    fn write_buf(&mut self, fd: Fd, data: Buf) -> OsResult<usize> {
+        // The buffer rides into the logged record (and across the ring)
+        // by reference; no payload copy happens anywhere downstream.
+        self.dispatch(Syscall::Write { fd, data }).into_size()
     }
 
     fn close(&mut self, fd: Fd) -> OsResult<()> {

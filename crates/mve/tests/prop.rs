@@ -7,7 +7,7 @@ use std::sync::Arc;
 use dsl::{Builtins, RuleSet};
 use mve::{EventRing, FollowerConfig, LeaderConfig, VariantOs};
 use proptest::prelude::*;
-use vos::{OpenMode, Os, VirtualKernel};
+use vos::{CtlOp, Fd, OpenMode, Os, SysRet, Syscall, VirtualKernel};
 
 /// A scripted syscall workload both variants will run.
 #[derive(Clone, Debug)]
@@ -133,5 +133,109 @@ proptest! {
                 prop_assert!(false, "follower died: {}", msg);
             }
         }
+    }
+}
+
+fn arb_fd() -> impl Strategy<Value = Fd> {
+    (0u64..6).prop_map(Fd::from_raw)
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    "/[a-c]{1,3}"
+}
+
+/// Any syscall the boundary can record, with small argument domains so
+/// that independently drawn pairs collide often (exercising both the
+/// match and mismatch sides of the comparison).
+fn arb_syscall() -> impl Strategy<Value = Syscall> {
+    prop_oneof![
+        (0u16..4).prop_map(|port| Syscall::Listen { port }),
+        arb_fd().prop_map(|listener| Syscall::Accept { listener }),
+        (arb_fd(), 1usize..64).prop_map(|(fd, max)| Syscall::Read { fd, max }),
+        (arb_fd(), 1usize..64, 0u64..50).prop_map(|(fd, max, timeout_ms)| {
+            Syscall::ReadTimeout {
+                fd,
+                max,
+                timeout_ms,
+            }
+        }),
+        (arb_fd(), proptest::collection::vec(any::<u8>(), 0..6)).prop_map(|(fd, data)| {
+            Syscall::Write {
+                fd,
+                data: data.into(),
+            }
+        }),
+        arb_fd().prop_map(|fd| Syscall::Close { fd }),
+        Just(Syscall::EpollCreate),
+        (
+            arb_fd(),
+            prop_oneof![Just(CtlOp::Add), Just(CtlOp::Del)],
+            arb_fd()
+        )
+            .prop_map(|(ep, op, fd)| Syscall::EpollCtl { ep, op, fd }),
+        (arb_fd(), 1usize..8, 0u64..50).prop_map(|(ep, max, timeout_ms)| Syscall::EpollWait {
+            ep,
+            max,
+            timeout_ms,
+        }),
+        (
+            arb_path(),
+            prop_oneof![
+                Just(OpenMode::Read),
+                Just(OpenMode::Write),
+                Just(OpenMode::Append),
+                Just(OpenMode::CreateNew)
+            ]
+        )
+            .prop_map(|(path, mode)| Syscall::FsOpen { path, mode }),
+        arb_path().prop_map(|path| Syscall::FsUnlink { path }),
+        arb_path().prop_map(|path| Syscall::FsStat { path }),
+        arb_path().prop_map(|path| Syscall::FsList { path }),
+        arb_path().prop_map(|path| Syscall::FsMkdir { path }),
+        (arb_path(), arb_path()).prop_map(|(from, to)| Syscall::FsRename { from, to }),
+        Just(Syscall::Now),
+        Just(Syscall::Pid),
+    ]
+}
+
+/// A plausible result for the expected record — the equivalence must hold
+/// whatever the leader's result was, since only request fields are
+/// compared.
+fn arb_ret() -> impl Strategy<Value = SysRet> {
+    prop_oneof![
+        Just(SysRet::Unit),
+        (0u64..6).prop_map(|fd| SysRet::Fd(Fd::from_raw(fd))),
+        proptest::collection::vec(any::<u8>(), 0..6)
+            .prop_map(|d| SysRet::Data(vos::Buf::from_vec(d))),
+        (0usize..64).prop_map(SysRet::Size),
+        Just(SysRet::Err(vos::Errno::WouldBlock)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The follower's raw identity fast path (`record_matches`, no event
+    /// projection) agrees exactly with the projected comparison
+    /// (`request_matches` over `syscall_event`) for every pair of
+    /// syscalls and every leader result. This is what makes skipping the
+    /// projection on the hot path a pure representation change.
+    #[test]
+    fn record_matches_is_equivalent_to_projected_comparison(
+        expected in arb_syscall(),
+        attempted in arb_syscall(),
+        ret in arb_ret(),
+    ) {
+        let fast = mve::record_matches(&expected, &attempted);
+        let event = mve::syscall_event(&expected, &ret);
+        let slow = mve::request_matches(&event, &attempted);
+        prop_assert_eq!(fast, slow, "expected={:?} attempted={:?}", expected, attempted);
+    }
+
+    /// Mutating nothing always matches: a record compared against itself
+    /// (the common, non-divergent case) passes the fast path.
+    #[test]
+    fn record_matches_is_reflexive(call in arb_syscall()) {
+        prop_assert!(mve::record_matches(&call, &call));
     }
 }

@@ -12,7 +12,7 @@ use mve::{
     VariantOs,
 };
 use ring::Ring;
-use vos::{Os, VirtualKernel};
+use vos::{Buf, Os, VirtualKernel};
 
 fn new_ring(cap: usize) -> EventRing {
     Arc::new(Ring::with_capacity(cap))
@@ -346,6 +346,49 @@ fn notices_report_role_transitions() {
     let notice = rx.recv_timeout(Duration::from_millis(200)).unwrap();
     assert_eq!(notice.variant, 0);
     assert_eq!(notice.kind, mve::NoticeKind::BecameSingle);
+}
+
+#[test]
+fn payload_buffers_are_shared_not_copied_across_the_ring() {
+    let kernel = VirtualKernel::new();
+    let ring_a = new_ring(64);
+
+    let mut leader = VariantOs::single(0, kernel.clone(), None);
+    let listener = leader.listen(5009).unwrap();
+    leader.attach_follower(LeaderConfig {
+        ring: ring_a.clone(),
+        lockstep: None,
+    });
+    let client = kernel.connect(5009).unwrap();
+    let conn = leader.accept(listener).unwrap();
+
+    kernel.client_send(client, b"request").unwrap();
+    let leader_read = leader.read_timeout(conn, 64, 100).unwrap();
+    assert_eq!(leader_read, b"request");
+
+    let payload = Buf::from_vec(b"a response big enough to matter".to_vec());
+    assert_eq!(leader.write_buf(conn, payload.clone()).unwrap(), 31);
+
+    // The client receives the very storage the server wrote: the kernel
+    // moved a refcount, not bytes.
+    let delivered = kernel.client_recv(client, 64).unwrap();
+    assert!(
+        delivered.same_storage(&payload),
+        "kernel delivery must share the written buffer"
+    );
+
+    // The follower replays against the very storage the leader saw: the
+    // syscall record crossed the broadcast ring as a refcount bump, so
+    // there is no payload memcpy between the leader's syscall completion
+    // and the follower's identity comparison.
+    let mut follower = VariantOs::follower(1, kernel, follower_config(ring_a), None);
+    let _ = follower.accept(listener).unwrap();
+    let follower_read = follower.read_timeout(conn, 64, 100).unwrap();
+    assert!(
+        follower_read.same_storage(&leader_read),
+        "replayed read result must share the leader's buffer"
+    );
+    assert_eq!(follower.write_buf(conn, payload.clone()).unwrap(), 31);
 }
 
 #[test]

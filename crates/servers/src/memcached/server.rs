@@ -266,7 +266,7 @@ mod tests {
                 rig.kernel
                     .client_recv_timeout(rig.client, 4096, Duration::from_millis(2))
             {
-                got.extend(data);
+                got.extend_from_slice(&data);
             }
             if got.ends_with(expect_suffix) {
                 break;

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use evloop::EventLoop;
-use vos::{Errno, Fd, Os, OsResult};
+use vos::{Buf, Errno, Fd, Os, OsResult};
 
 /// Per-connection receive buffer with line extraction.
 #[derive(Clone, Debug, Default)]
@@ -208,8 +208,14 @@ impl NetCore {
     /// makes the paper's "Vsftpd large" workload stress the MVE layer).
     pub fn send_chunked(&mut self, os: &mut dyn Os, fd: Fd, data: &[u8], chunk: usize) {
         debug_assert!(chunk > 0);
-        for piece in data.chunks(chunk.max(1)) {
-            if os.write(fd, piece).is_err() {
+        // One heap copy up front; every chunk after that is an O(1)
+        // refcounted slice of the same storage, handed to the kernel
+        // (and the MVE log, and the follower) without further memcpy.
+        let mut rest = Buf::copy_from_slice(data);
+        let chunk = chunk.max(1);
+        while !rest.is_empty() {
+            let piece = rest.split_to(chunk.min(rest.len()));
+            if os.write_buf(fd, piece).is_err() {
                 self.drop_conn(os, fd);
                 return;
             }
@@ -352,7 +358,7 @@ mod tests {
         assert!(after - before >= 10, "10 KB in 1 KB chunks = 10 writes");
         let mut received = Vec::new();
         while received.len() < 10_000 {
-            received.extend(kernel.client_recv(client, 4096).unwrap());
+            received.extend_from_slice(&kernel.client_recv(client, 4096).unwrap());
         }
         assert_eq!(received.len(), 10_000);
     }

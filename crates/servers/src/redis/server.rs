@@ -286,7 +286,7 @@ mod tests {
             if let Ok(data) =
                 kernel.client_recv_timeout(client, 256, std::time::Duration::from_millis(5))
             {
-                got.extend(data);
+                got.extend_from_slice(&data);
             }
             if got.ends_with(b"hello\r\n") {
                 break;

@@ -337,7 +337,7 @@ mod tests {
                 rig.kernel
                     .client_recv_timeout(rig.client, 65536, Duration::from_millis(2))
             {
-                got.extend(data);
+                got.extend_from_slice(&data);
             }
             if got.ends_with(suffix) {
                 break;

@@ -5,12 +5,19 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use crate::buf::Buf;
 use crate::clock::Clock;
 use crate::error::{Errno, OsResult};
 use crate::fd::Fd;
 use crate::fs::{FileStat, MemFs, OpenMode};
 use crate::poll::{CtlOp, EpollState};
-use crate::stream::{Notifier, StreamEnd};
+use crate::stream::{ReadTiming, StreamEnd, WaitSet};
+
+/// Number of fd-table shards. Descriptors are distributed by
+/// `fd % FD_SHARDS`, and fds are allocated sequentially, so concurrent
+/// variants and workload clients — which each work a disjoint set of
+/// fds — almost never contend on the same shard lock.
+const FD_SHARDS: usize = 64;
 
 /// Per-file-handle state (shared contents + private offset).
 #[derive(Debug)]
@@ -24,14 +31,38 @@ struct FileHandle {
 struct Listener {
     port: u16,
     queue: Mutex<VecDeque<Fd>>,
+    /// Epoll waiters interested in this listener's accept queue.
+    waiters: Arc<WaitSet>,
 }
 
 #[derive(Debug)]
 enum Resource {
     Listener(Arc<Listener>),
     Stream(Arc<StreamEnd>),
-    Epoll(Arc<Mutex<EpollState>>),
+    Epoll(Arc<EpollState>),
     File(Arc<Mutex<FileHandle>>),
+}
+
+impl Clone for Resource {
+    fn clone(&self) -> Self {
+        match self {
+            Resource::Listener(l) => Resource::Listener(l.clone()),
+            Resource::Stream(s) => Resource::Stream(s.clone()),
+            Resource::Epoll(e) => Resource::Epoll(e.clone()),
+            Resource::File(f) => Resource::File(f.clone()),
+        }
+    }
+}
+
+/// One fd-table slot: the resource plus the wait-set that epoll
+/// instances register with to be woken on its readiness changes.
+/// Streams and listeners carry their own wait-set (the resource itself
+/// wakes it on writes/connects); files and epoll instances get a slot
+/// wait-set that only `close` wakes.
+#[derive(Debug)]
+struct Entry {
+    res: Resource,
+    wait: Arc<WaitSet>,
 }
 
 /// Counters the benches report; all monotonically increasing.
@@ -55,13 +86,16 @@ pub struct KernelStats {
 /// All methods take `&self`; the kernel is shared as `Arc<VirtualKernel>`.
 #[derive(Debug)]
 pub struct VirtualKernel {
-    resources: Mutex<HashMap<Fd, Resource>>,
+    /// The fd table, sharded by `fd % FD_SHARDS` so the per-syscall
+    /// lookup doesn't serialize every thread on one mutex.
+    shards: [Mutex<HashMap<Fd, Entry>>; FD_SHARDS],
     listeners: Mutex<HashMap<u16, Arc<Listener>>>,
     next_fd: AtomicU64,
     next_pid: AtomicU32,
     clock: Clock,
     fs: MemFs,
-    notifier: Arc<Notifier>,
+    /// Shared blocking-read stall bookkeeping for every stream.
+    read_timing: Arc<ReadTiming>,
     /// Monotone `epoll_wait` call counter (drives the delay schedule).
     epoll_calls: AtomicU64,
     /// Delay every Nth `epoll_wait` call; 0 disables the perturbation.
@@ -86,13 +120,13 @@ impl VirtualKernel {
 
     fn with_clock(clock: Clock) -> Arc<Self> {
         Arc::new(VirtualKernel {
-            resources: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             listeners: Mutex::new(HashMap::new()),
             next_fd: AtomicU64::new(3),
             next_pid: AtomicU32::new(100),
             clock,
             fs: MemFs::new(),
-            notifier: Arc::new(Notifier::new()),
+            read_timing: Arc::new(ReadTiming::new()),
             epoll_calls: AtomicU64::new(0),
             epoll_delay_every: AtomicU64::new(0),
             epoll_delay_nanos: AtomicU64::new(0),
@@ -109,6 +143,26 @@ impl VirtualKernel {
         self.epoll_delay_nanos
             .store(delay.as_nanos() as u64, Ordering::Relaxed);
         self.epoll_delay_every.store(every, Ordering::Relaxed);
+    }
+
+    /// Times blocked stream reads against `source` instead of the wall
+    /// clock, making [`read_stalls`](Self::read_stalls) /
+    /// [`read_stall_nanos`](Self::read_stall_nanos) replay-stable (the
+    /// same treatment the ring gives producer stalls).
+    pub fn set_read_stall_time_source(&self, source: Arc<dyn obs::TimeSource>) {
+        self.read_timing.set_clock(source);
+    }
+
+    /// Number of stream reads that actually blocked (data not already
+    /// buffered), including reads that then timed out.
+    pub fn read_stalls(&self) -> u64 {
+        self.read_timing.stalls()
+    }
+
+    /// Total nanoseconds blocked reads spent waiting, measured against
+    /// the injected time source when one is set.
+    pub fn read_stall_nanos(&self) -> u64 {
+        self.read_timing.stall_nanos()
     }
 
     fn alloc_fd(&self) -> Fd {
@@ -140,14 +194,44 @@ impl VirtualKernel {
         &self.fs
     }
 
+    fn shard(&self, fd: Fd) -> &Mutex<HashMap<Fd, Entry>> {
+        &self.shards[(fd.as_raw() as usize) % FD_SHARDS]
+    }
+
+    fn insert(&self, fd: Fd, res: Resource) {
+        let wait = match &res {
+            Resource::Stream(s) => s.waiters().clone(),
+            Resource::Listener(l) => l.waiters.clone(),
+            Resource::Epoll(_) | Resource::File(_) => Arc::new(WaitSet::new()),
+        };
+        self.shard(fd).lock().insert(fd, Entry { res, wait });
+    }
+
     fn resource(&self, fd: Fd) -> OsResult<Resource> {
-        let resources = self.resources.lock();
-        match resources.get(&fd) {
-            Some(Resource::Listener(l)) => Ok(Resource::Listener(l.clone())),
-            Some(Resource::Stream(s)) => Ok(Resource::Stream(s.clone())),
-            Some(Resource::Epoll(e)) => Ok(Resource::Epoll(e.clone())),
-            Some(Resource::File(f)) => Ok(Resource::File(f.clone())),
-            None => Err(Errno::BadFd),
+        self.shard(fd)
+            .lock()
+            .get(&fd)
+            .map(|e| e.res.clone())
+            .ok_or(Errno::BadFd)
+    }
+
+    fn wait_set(&self, fd: Fd) -> Option<Arc<WaitSet>> {
+        self.shard(fd).lock().get(&fd).map(|e| e.wait.clone())
+    }
+
+    /// Live epoll registrations on `fd`'s wait-set (diagnostics: lets
+    /// tests observe that a waiter has registered instead of sleeping).
+    pub fn wait_registrations(&self, fd: Fd) -> OsResult<usize> {
+        self.wait_set(fd).map(|w| w.len()).ok_or(Errno::BadFd)
+    }
+
+    /// Times `epoll_wait` on instance `ep` was woken by descriptor
+    /// activity rather than timing out. With per-fd wakeups, traffic on
+    /// descriptors this instance is not watching never moves this.
+    pub fn epoll_wakeups(&self, ep: Fd) -> OsResult<u64> {
+        match self.resource(ep)? {
+            Resource::Epoll(e) => Ok(e.wakeups()),
+            _ => Err(Errno::Inval),
         }
     }
 
@@ -155,6 +239,16 @@ impl VirtualKernel {
     pub fn pending_bytes(&self, fd: Fd) -> OsResult<usize> {
         match self.resource(fd)? {
             Resource::Stream(s) => Ok(s.pending()),
+            _ => Err(Errno::Inval),
+        }
+    }
+
+    /// Readers currently parked in a blocking `read` on `fd`
+    /// (diagnostics: lets tests rendezvous with a blocked reader
+    /// instead of sleeping).
+    pub fn waiting_readers(&self, fd: Fd) -> OsResult<usize> {
+        match self.resource(fd)? {
+            Resource::Stream(s) => Ok(s.waiting_readers()),
             _ => Err(Errno::Inval),
         }
     }
@@ -171,12 +265,11 @@ impl VirtualKernel {
         let listener = Arc::new(Listener {
             port,
             queue: Mutex::new(VecDeque::new()),
+            waiters: Arc::new(WaitSet::new()),
         });
         listeners.insert(port, listener.clone());
         let fd = self.alloc_fd();
-        self.resources
-            .lock()
-            .insert(fd, Resource::Listener(listener));
+        self.insert(fd, Resource::Listener(listener));
         Ok(fd)
     }
 
@@ -190,16 +283,13 @@ impl VirtualKernel {
             .get(&port)
             .cloned()
             .ok_or(Errno::ConnRefused)?;
-        let (client_end, server_end) = StreamEnd::pair(self.notifier.clone());
+        let (client_end, server_end) = StreamEnd::pair(self.read_timing.clone());
         let client_fd = self.alloc_fd();
         let server_fd = self.alloc_fd();
-        {
-            let mut resources = self.resources.lock();
-            resources.insert(client_fd, Resource::Stream(client_end));
-            resources.insert(server_fd, Resource::Stream(server_end));
-        }
+        self.insert(client_fd, Resource::Stream(client_end));
+        self.insert(server_fd, Resource::Stream(server_end));
         listener.queue.lock().push_back(server_fd);
-        self.notifier.bump();
+        listener.waiters.wake();
         Ok(client_fd)
     }
 
@@ -220,7 +310,10 @@ impl VirtualKernel {
 
     /// Reads up to `max` bytes; blocks until data, EOF, or `timeout`.
     /// Works on both streams and files (files never block).
-    pub fn read(&self, fd: Fd, max: usize, timeout: Option<Duration>) -> OsResult<Vec<u8>> {
+    ///
+    /// Stream reads are zero-copy: the returned [`Buf`] is a slice of the
+    /// writer's own allocation whenever the read does not span chunks.
+    pub fn read(&self, fd: Fd, max: usize, timeout: Option<Duration>) -> OsResult<Buf> {
         self.count();
         match self.resource(fd)? {
             Resource::Stream(s) => {
@@ -235,7 +328,7 @@ impl VirtualKernel {
                 let data = h.data.lock();
                 let start = h.offset.min(data.len());
                 let end = (start + max).min(data.len());
-                let out = data[start..end].to_vec();
+                let out = Buf::copy_from_slice(&data[start..end]);
                 drop(data);
                 h.offset = end;
                 self.stats
@@ -247,12 +340,28 @@ impl VirtualKernel {
         }
     }
 
-    /// Writes `data`; returns the number of bytes written.
+    /// Writes `data`; returns the number of bytes written. Copies once,
+    /// at this boundary, to wrap the borrowed slice in a shared buffer —
+    /// callers that already hold a [`Buf`] should use
+    /// [`write_buf`](Self::write_buf) instead, which copies nothing.
     pub fn write(&self, fd: Fd, data: &[u8]) -> OsResult<usize> {
         self.count();
+        self.write_inner(fd, PayloadRef::Slice(data))
+    }
+
+    /// Writes an already-shared buffer without copying the payload: the
+    /// same allocation lands in the peer's inbox (and from there in the
+    /// reader's hands, and — under MVE — in the logged record).
+    pub fn write_buf(&self, fd: Fd, data: Buf) -> OsResult<usize> {
+        self.count();
+        self.write_inner(fd, PayloadRef::Shared(data))
+    }
+
+    fn write_inner(&self, fd: Fd, data: PayloadRef<'_>) -> OsResult<usize> {
         let n = match self.resource(fd)? {
-            Resource::Stream(s) => s.write(data)?,
+            Resource::Stream(s) => s.write(data.into_buf())?,
             Resource::File(handle) => {
+                let data = data.as_slice();
                 let mut h = handle.lock();
                 if !h.mode.writable() {
                     return Err(Errno::Inval);
@@ -282,15 +391,17 @@ impl VirtualKernel {
     /// Closes and releases a descriptor.
     pub fn close(&self, fd: Fd) -> OsResult<()> {
         self.count();
-        let resource = self.resources.lock().remove(&fd).ok_or(Errno::BadFd)?;
-        match resource {
+        let entry = self.shard(fd).lock().remove(&fd).ok_or(Errno::BadFd)?;
+        match &entry.res {
             Resource::Stream(s) => s.close(),
             Resource::Listener(l) => {
                 self.listeners.lock().remove(&l.port);
             }
             Resource::Epoll(_) | Resource::File(_) => {}
         }
-        self.notifier.bump();
+        // Whoever was waiting on this descriptor must wake and observe
+        // the close (a dead fd reports as ready so owners notice EOF).
+        entry.wait.wake();
         Ok(())
     }
 
@@ -300,9 +411,7 @@ impl VirtualKernel {
     pub fn epoll_create(&self) -> OsResult<Fd> {
         self.count();
         let fd = self.alloc_fd();
-        self.resources
-            .lock()
-            .insert(fd, Resource::Epoll(Arc::new(Mutex::new(EpollState::new()))));
+        self.insert(fd, Resource::Epoll(Arc::new(EpollState::new())));
         Ok(fd)
     }
 
@@ -314,8 +423,18 @@ impl VirtualKernel {
             _ => return Err(Errno::Inval),
         };
         let changed = match op {
-            CtlOp::Add => state.lock().add(fd),
-            CtlOp::Del => state.lock().del(fd),
+            CtlOp::Add => {
+                let added = state.add(fd);
+                if added {
+                    // Wake any in-flight wait on this instance so it
+                    // re-registers with the new descriptor's wait-set;
+                    // otherwise a concurrent waiter would sleep through
+                    // the new fd's activity.
+                    state.notifier().bump();
+                }
+                added
+            }
+            CtlOp::Del => state.del(fd),
         };
         if changed {
             Ok(())
@@ -333,9 +452,34 @@ impl VirtualKernel {
         }
     }
 
+    fn scan_ready(&self, state: &EpollState, max: usize) -> Vec<Fd> {
+        state
+            .interests()
+            .into_iter()
+            .filter(|fd| self.fd_ready(*fd))
+            .take(max)
+            .collect()
+    }
+
+    /// Registers the instance's notifier with the wait-set of every
+    /// descriptor it is interested in. Idempotent; missing descriptors
+    /// are skipped (they report as ready in the scan anyway).
+    fn register_interests(&self, state: &EpollState) {
+        let notifier = state.notifier();
+        for fd in state.interests() {
+            if let Some(wait) = self.wait_set(fd) {
+                wait.register(notifier);
+            }
+        }
+    }
+
     /// Waits for up to `timeout` for any registered descriptor to become
     /// readable; returns up to `max` ready descriptors in registration
     /// order. An empty vector means the wait timed out.
+    ///
+    /// Blocking waits park on the instance's own notifier, registered
+    /// with exactly the descriptors in the interest list — activity on
+    /// any other descriptor does not wake this call.
     pub fn epoll_wait(&self, ep: Fd, max: usize, timeout: Duration) -> OsResult<Vec<Fd>> {
         self.count();
         let state = match self.resource(ep)? {
@@ -348,21 +492,24 @@ impl VirtualKernel {
         if every > 0 && call_index.is_multiple_of(every) {
             let delay = Duration::from_nanos(self.epoll_delay_nanos.load(Ordering::Relaxed));
             if !delay.is_zero() {
-                let seen = self.notifier.current();
-                self.notifier.wait_change(seen, delay);
+                let seen = state.notifier().current();
+                self.register_interests(&state);
+                state.notifier().wait_change(seen, delay);
             }
         }
+        // Fast path: something is already ready — return without ever
+        // touching a wait-set.
+        let ready = self.scan_ready(&state, max);
+        if !ready.is_empty() {
+            return Ok(ready);
+        }
         loop {
-            let seen = self.notifier.current();
-            let ready: Vec<Fd> = {
-                let st = state.lock();
-                st.interests()
-                    .iter()
-                    .copied()
-                    .filter(|fd| self.fd_ready(*fd))
-                    .take(max)
-                    .collect()
-            };
+            let seen = state.notifier().current();
+            // Register before the (re)scan so an event landing between
+            // the scan and the park bumps a generation we compare
+            // against — no lost-wakeup window.
+            self.register_interests(&state);
+            let ready = self.scan_ready(&state, max);
             if !ready.is_empty() {
                 return Ok(ready);
             }
@@ -370,7 +517,9 @@ impl VirtualKernel {
             if now >= deadline {
                 return Ok(Vec::new());
             }
-            self.notifier.wait_change(seen, deadline - now);
+            if state.notifier().wait_change(seen, deadline - now) != seen {
+                state.note_wakeup();
+            }
         }
     }
 
@@ -381,7 +530,7 @@ impl VirtualKernel {
         self.count();
         let (data, offset) = self.fs.open(path, mode)?;
         let fd = self.alloc_fd();
-        self.resources.lock().insert(
+        self.insert(
             fd,
             Resource::File(Arc::new(Mutex::new(FileHandle { data, offset, mode }))),
         );
@@ -421,18 +570,41 @@ impl VirtualKernel {
     }
 
     /// Client-side blocking receive.
-    pub fn client_recv(&self, fd: Fd, max: usize) -> OsResult<Vec<u8>> {
+    pub fn client_recv(&self, fd: Fd, max: usize) -> OsResult<Buf> {
         self.read(fd, max, None)
     }
 
     /// Client-side receive with a timeout.
-    pub fn client_recv_timeout(&self, fd: Fd, max: usize, timeout: Duration) -> OsResult<Vec<u8>> {
+    pub fn client_recv_timeout(&self, fd: Fd, max: usize, timeout: Duration) -> OsResult<Buf> {
         self.read(fd, max, Some(timeout))
     }
 
     /// Number of live resources (leak checks in tests).
     pub fn resource_count(&self) -> usize {
-        self.resources.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// A write payload that is either a borrowed slice (copied once at the
+/// stream boundary) or an already-shared buffer (never copied).
+enum PayloadRef<'a> {
+    Slice(&'a [u8]),
+    Shared(Buf),
+}
+
+impl PayloadRef<'_> {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            PayloadRef::Slice(s) => s,
+            PayloadRef::Shared(b) => b.as_slice(),
+        }
+    }
+
+    fn into_buf(self) -> Buf {
+        match self {
+            PayloadRef::Slice(s) => Buf::copy_from_slice(s),
+            PayloadRef::Shared(b) => b,
+        }
     }
 }
 
@@ -516,6 +688,7 @@ mod tests {
         k.epoll_ctl(ep, CtlOp::Add, l).unwrap();
         let ready = k.epoll_wait(ep, 8, Duration::from_millis(10)).unwrap();
         assert!(ready.is_empty());
+        assert_eq!(k.epoll_wakeups(ep).unwrap(), 0, "timeout is not a wakeup");
     }
 
     #[test]
@@ -526,9 +699,66 @@ mod tests {
         k.epoll_ctl(ep, CtlOp::Add, l).unwrap();
         let k2 = k.clone();
         let t = std::thread::spawn(move || k2.epoll_wait(ep, 8, Duration::from_secs(5)).unwrap());
-        std::thread::sleep(Duration::from_millis(20));
+        // Deterministic hand-off: once the waiter has registered with
+        // the listener's wait-set, the connect's wakeup cannot be lost
+        // (the waiter captured its generation before registering).
+        while k.wait_registrations(l).unwrap() == 0 {
+            std::thread::yield_now();
+        }
         let _c = k.connect(80).unwrap();
         assert_eq!(t.join().unwrap(), vec![l]);
+        assert!(k.epoll_wakeups(ep).unwrap() >= 1);
+    }
+
+    #[test]
+    fn epoll_wakeups_target_only_watched_fds() {
+        let k = VirtualKernel::new();
+        let l = k.listen(80).unwrap();
+        let c_a = k.connect(80).unwrap();
+        let s_a = k.accept(l).unwrap();
+        let _c_b = k.connect(80).unwrap();
+        let s_b = k.accept(l).unwrap();
+
+        let ep_b = k.epoll_create().unwrap();
+        k.epoll_ctl(ep_b, CtlOp::Add, s_b).unwrap();
+        // Park a waiter on B's connection, then generate traffic on A's.
+        let k2 = k.clone();
+        let t =
+            std::thread::spawn(move || k2.epoll_wait(ep_b, 8, Duration::from_millis(50)).unwrap());
+        while k.wait_registrations(s_b).unwrap() == 0 {
+            std::thread::yield_now();
+        }
+        for _ in 0..10 {
+            k.client_send(c_a, b"noise").unwrap();
+            let _ = k.read(s_a, 64, None).unwrap();
+        }
+        assert_eq!(t.join().unwrap(), Vec::<Fd>::new(), "B never became ready");
+        assert_eq!(
+            k.epoll_wakeups(ep_b).unwrap(),
+            0,
+            "traffic on fd A must not wake a waiter on fd B"
+        );
+    }
+
+    #[test]
+    fn epoll_ctl_add_during_wait_is_picked_up() {
+        let k = VirtualKernel::new();
+        let l = k.listen(80).unwrap();
+        let c = k.connect(80).unwrap();
+        let s = k.accept(l).unwrap();
+        let ep = k.epoll_create().unwrap();
+        // Start waiting on an instance that watches only the listener.
+        k.epoll_ctl(ep, CtlOp::Add, l).unwrap();
+        let k2 = k.clone();
+        let t = std::thread::spawn(move || k2.epoll_wait(ep, 8, Duration::from_secs(5)).unwrap());
+        while k.wait_registrations(l).unwrap() == 0 {
+            std::thread::yield_now();
+        }
+        // Make the stream ready first, then add it: the Add must wake the
+        // in-flight wait so it re-registers and observes the readiness.
+        k.client_send(c, b"x").unwrap();
+        k.epoll_ctl(ep, CtlOp::Add, s).unwrap();
+        assert_eq!(t.join().unwrap(), vec![s]);
     }
 
     #[test]
@@ -589,6 +819,42 @@ mod tests {
         assert_eq!(k.stats.connects.load(Ordering::Relaxed), 1);
         assert_eq!(k.stats.accepts.load(Ordering::Relaxed), 1);
         assert!(k.stats.bytes_read.load(Ordering::Relaxed) >= 5);
+    }
+
+    #[test]
+    fn write_buf_shares_the_payload_end_to_end() {
+        let k = VirtualKernel::new();
+        let l = k.listen(80).unwrap();
+        let c = k.connect(80).unwrap();
+        let s = k.accept(l).unwrap();
+        let payload = Buf::from_vec(b"zero-copy payload".to_vec());
+        let src_ptr = payload.as_slice().as_ptr();
+        k.write_buf(c, payload).unwrap();
+        let got = k.read(s, 64, None).unwrap();
+        assert_eq!(got, b"zero-copy payload");
+        assert_eq!(
+            got.as_slice().as_ptr(),
+            src_ptr,
+            "the reader sees the writer's own allocation"
+        );
+    }
+
+    #[test]
+    fn read_stall_accounting_via_injected_clock() {
+        let k = VirtualKernel::new();
+        let clock = Arc::new(obs::ManualClock::new());
+        k.set_read_stall_time_source(clock.clone());
+        let l = k.listen(80).unwrap();
+        let c = k.connect(80).unwrap();
+        let s = k.accept(l).unwrap();
+        // Buffered read: no stall recorded.
+        k.client_send(c, b"x").unwrap();
+        let _ = k.read(s, 8, None).unwrap();
+        assert_eq!(k.read_stalls(), 0);
+        // Timed-out read: one stall, duration per the injected clock.
+        clock.advance(10);
+        let _ = k.read(s, 8, Some(Duration::from_millis(5))).unwrap_err();
+        assert_eq!(k.read_stalls(), 1);
     }
 
     #[test]

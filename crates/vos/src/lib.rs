@@ -36,6 +36,7 @@
 //! # }
 //! ```
 
+mod buf;
 mod clock;
 mod error;
 mod fd;
@@ -46,6 +47,7 @@ mod poll;
 mod stream;
 mod syscall;
 
+pub use buf::Buf;
 pub use clock::Clock;
 pub use error::{Errno, OsResult};
 pub use fd::Fd;

@@ -1,6 +1,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::buf::Buf;
 use crate::error::OsResult;
 use crate::fd::Fd;
 use crate::fs::{FileStat, OpenMode};
@@ -37,20 +38,30 @@ pub trait Os: Send {
     /// `WouldBlock` if none is queued.
     fn accept(&mut self, listener: Fd) -> OsResult<Fd>;
 
-    /// Reads up to `max` bytes, blocking indefinitely.
+    /// Reads up to `max` bytes, blocking indefinitely. The returned
+    /// [`Buf`] is a zero-copy view of the writer's allocation on the
+    /// stream fast path.
     ///
     /// # Errors
     /// `BadFd` if the descriptor is dead. An empty `Ok` is EOF.
-    fn read(&mut self, fd: Fd, max: usize) -> OsResult<Vec<u8>>;
+    fn read(&mut self, fd: Fd, max: usize) -> OsResult<Buf>;
 
     /// Reads up to `max` bytes, waiting at most `timeout_ms`.
     ///
     /// # Errors
     /// `TimedOut` when the timeout elapses with no data.
-    fn read_timeout(&mut self, fd: Fd, max: usize, timeout_ms: u64) -> OsResult<Vec<u8>>;
+    fn read_timeout(&mut self, fd: Fd, max: usize, timeout_ms: u64) -> OsResult<Buf>;
 
     /// Writes `data`, returning the byte count written.
     fn write(&mut self, fd: Fd, data: &[u8]) -> OsResult<usize>;
+
+    /// Writes an already-shared buffer. Implementations that can carry
+    /// the buffer through without copying (the kernel data plane, the
+    /// MVE leader's log) override this; the default delegates to
+    /// [`write`](Self::write), which is always correct.
+    fn write_buf(&mut self, fd: Fd, data: Buf) -> OsResult<usize> {
+        self.write(fd, &data)
+    }
 
     /// Closes a descriptor.
     fn close(&mut self, fd: Fd) -> OsResult<()>;
@@ -116,17 +127,21 @@ impl Os for DirectOs {
         self.kernel.accept(listener)
     }
 
-    fn read(&mut self, fd: Fd, max: usize) -> OsResult<Vec<u8>> {
+    fn read(&mut self, fd: Fd, max: usize) -> OsResult<Buf> {
         self.kernel.read(fd, max, None)
     }
 
-    fn read_timeout(&mut self, fd: Fd, max: usize, timeout_ms: u64) -> OsResult<Vec<u8>> {
+    fn read_timeout(&mut self, fd: Fd, max: usize, timeout_ms: u64) -> OsResult<Buf> {
         self.kernel
             .read(fd, max, Some(Duration::from_millis(timeout_ms)))
     }
 
     fn write(&mut self, fd: Fd, data: &[u8]) -> OsResult<usize> {
         self.kernel.write(fd, data)
+    }
+
+    fn write_buf(&mut self, fd: Fd, data: Buf) -> OsResult<usize> {
+        self.kernel.write_buf(fd, data)
     }
 
     fn close(&mut self, fd: Fd) -> OsResult<()> {

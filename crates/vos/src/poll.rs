@@ -1,4 +1,10 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
 use crate::fd::Fd;
+use crate::stream::Notifier;
 
 /// Operation argument to `epoll_ctl`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -10,14 +16,25 @@ pub enum CtlOp {
 }
 
 /// Kernel-side state of one epoll instance: the interest list in
-/// registration order.
+/// registration order, plus the instance's own readiness notifier.
 ///
 /// `epoll_wait` reports ready descriptors in registration order; any
 /// round-robin fairness lives in user space (see `mvedsua-evloop`), which
 /// is exactly the split that produces the paper's LibEvent timing error.
+///
+/// The notifier is what this instance registers with the [`WaitSet`] of
+/// each descriptor it is interested in: activity on those descriptors —
+/// and only those — wakes this instance's waiters.
+///
+/// [`WaitSet`]: crate::stream::WaitSet
 #[derive(Debug, Default)]
 pub(crate) struct EpollState {
-    interests: Vec<Fd>,
+    interests: Mutex<Vec<Fd>>,
+    notifier: Arc<Notifier>,
+    /// Times an `epoll_wait` on this instance was woken by descriptor
+    /// activity (as opposed to timing out). Diagnostic for wakeup
+    /// targeting: a write to an unrelated fd must not move this.
+    wakeups: AtomicU64,
 }
 
 impl EpollState {
@@ -25,27 +42,43 @@ impl EpollState {
         Self::default()
     }
 
-    pub fn add(&mut self, fd: Fd) -> bool {
-        if self.interests.contains(&fd) {
+    pub fn add(&self, fd: Fd) -> bool {
+        let mut interests = self.interests.lock();
+        if interests.contains(&fd) {
             false
         } else {
-            self.interests.push(fd);
+            interests.push(fd);
             true
         }
     }
 
-    pub fn del(&mut self, fd: Fd) -> bool {
-        match self.interests.iter().position(|f| *f == fd) {
+    pub fn del(&self, fd: Fd) -> bool {
+        let mut interests = self.interests.lock();
+        match interests.iter().position(|f| *f == fd) {
             Some(i) => {
-                self.interests.remove(i);
+                interests.remove(i);
                 true
             }
             None => false,
         }
     }
 
-    pub fn interests(&self) -> &[Fd] {
-        &self.interests
+    /// Snapshot of the interest list, in registration order.
+    pub fn interests(&self) -> Vec<Fd> {
+        self.interests.lock().clone()
+    }
+
+    /// The notifier descriptor wait-sets bump to wake this instance.
+    pub fn notifier(&self) -> &Arc<Notifier> {
+        &self.notifier
+    }
+
+    pub fn note_wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
     }
 }
 
@@ -55,7 +88,7 @@ mod tests {
 
     #[test]
     fn add_is_idempotent_and_ordered() {
-        let mut ep = EpollState::new();
+        let ep = EpollState::new();
         assert!(ep.add(Fd::from_raw(5)));
         assert!(ep.add(Fd::from_raw(3)));
         assert!(!ep.add(Fd::from_raw(5)));
@@ -64,10 +97,19 @@ mod tests {
 
     #[test]
     fn del_removes_only_present() {
-        let mut ep = EpollState::new();
+        let ep = EpollState::new();
         ep.add(Fd::from_raw(1));
         assert!(ep.del(Fd::from_raw(1)));
         assert!(!ep.del(Fd::from_raw(1)));
         assert!(ep.interests().is_empty());
+    }
+
+    #[test]
+    fn wakeup_counter_accumulates() {
+        let ep = EpollState::new();
+        assert_eq!(ep.wakeups(), 0);
+        ep.note_wakeup();
+        ep.note_wakeup();
+        assert_eq!(ep.wakeups(), 2);
     }
 }

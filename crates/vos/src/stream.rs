@@ -4,15 +4,16 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::buf::Buf;
 use crate::error::{Errno, OsResult};
 
-/// Kernel-wide readiness notifier.
+/// A readiness notifier: a generation counter plus a condvar.
 ///
-/// Every state change that could unblock an `epoll_wait` (bytes arriving,
-/// a connection closing, a new pending accept) bumps a generation counter
-/// and wakes waiters. Epoll waiters re-scan their interest set on each
-/// wakeup; this trades a little wakeup noise for a design with no
-/// per-waiter registration, which keeps fork/kill of variants trivial.
+/// Every epoll instance owns one. It is registered (weakly) with the
+/// [`WaitSet`] of each resource the instance is interested in, so a
+/// state change on fd A wakes only the waiters that registered for
+/// fd A — unlike the seed design, whose single kernel-wide notifier
+/// broadcast every write to every `epoll_wait` in the process.
 #[derive(Debug, Default)]
 pub(crate) struct Notifier {
     gen: Mutex<u64>,
@@ -20,10 +21,6 @@ pub(crate) struct Notifier {
 }
 
 impl Notifier {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
     pub fn current(&self) -> u64 {
         *self.gen.lock()
     }
@@ -46,45 +43,179 @@ impl Notifier {
     }
 }
 
+/// The set of notifiers interested in one kernel resource.
+///
+/// Registration is idempotent (per-notifier, by pointer identity) and
+/// weak: a dropped epoll instance falls out lazily. `wake` bumps every
+/// live registered notifier — the per-fd replacement for the seed's
+/// global `notify_all`.
+#[derive(Debug, Default)]
+pub(crate) struct WaitSet {
+    waiters: Mutex<Vec<Weak<Notifier>>>,
+}
+
+impl WaitSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `notifier` for wakeups from this resource. Idempotent;
+    /// prunes dead entries while it holds the lock anyway.
+    pub fn register(&self, notifier: &Arc<Notifier>) {
+        let mut waiters = self.waiters.lock();
+        waiters.retain(|w| w.strong_count() > 0);
+        if !waiters.iter().any(|w| w.as_ptr() == Arc::as_ptr(notifier)) {
+            waiters.push(Arc::downgrade(notifier));
+        }
+    }
+
+    /// Wakes every live registered notifier.
+    pub fn wake(&self) {
+        let waiters = self.waiters.lock();
+        for w in waiters.iter() {
+            if let Some(n) = w.upgrade() {
+                n.bump();
+            }
+        }
+    }
+
+    /// Number of live registrations (tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.waiters
+            .lock()
+            .iter()
+            .filter(|w| w.strong_count() > 0)
+            .count()
+    }
+}
+
+/// Shared read-stall bookkeeping for every stream of one kernel:
+/// how often blocking reads actually blocked and for how long,
+/// measured against an injectable [`obs::TimeSource`] (the same
+/// treatment the ring gives producer stalls) so the numbers are
+/// replay-stable when a virtual clock is injected.
+#[derive(Default)]
+pub(crate) struct ReadTiming {
+    clock: Mutex<Option<Arc<dyn obs::TimeSource>>>,
+    stalls: std::sync::atomic::AtomicU64,
+    stall_nanos: std::sync::atomic::AtomicU64,
+}
+
+impl ReadTiming {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set_clock(&self, source: Arc<dyn obs::TimeSource>) {
+        *self.clock.lock() = Some(source);
+    }
+
+    pub fn stalls(&self) -> u64 {
+        self.stalls.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    pub fn stall_nanos(&self) -> u64 {
+        self.stall_nanos.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn record(&self, nanos: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.stalls.fetch_add(1, Relaxed);
+        self.stall_nanos.fetch_add(nanos, Relaxed);
+    }
+}
+
+impl std::fmt::Debug for ReadTiming {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadTiming")
+            .field("stalls", &self.stalls())
+            .field("stall_nanos", &self.stall_nanos())
+            .finish()
+    }
+}
+
+/// Stall-duration measurement against either the wall clock or the
+/// injected time source. Built only on the cold blocked-read path; the
+/// fast path (data already buffered) never touches a clock.
+enum StallTimer {
+    Wall(std::time::Instant),
+    Source(Arc<dyn obs::TimeSource>, u64),
+}
+
+impl StallTimer {
+    fn start(timing: &ReadTiming) -> Self {
+        match timing.clock.lock().clone() {
+            Some(src) => {
+                let begin = src.now_nanos();
+                StallTimer::Source(src, begin)
+            }
+            None => StallTimer::Wall(std::time::Instant::now()),
+        }
+    }
+
+    fn elapsed_nanos(&self) -> u64 {
+        match self {
+            StallTimer::Wall(begin) => begin.elapsed().as_nanos() as u64,
+            StallTimer::Source(src, begin) => src.now_nanos().saturating_sub(*begin),
+        }
+    }
+}
+
+/// Bytes flowing toward one endpoint: a queue of shared immutable
+/// chunks, exactly as the peers wrote them. Reads slice the front chunk
+/// without copying; only a read spanning chunk boundaries coalesces
+/// (one bulk copy), preserving the seed's "contiguous min(max,
+/// buffered) bytes" contract.
 #[derive(Debug)]
 struct Inbox {
-    data: VecDeque<u8>,
+    chunks: VecDeque<Buf>,
+    /// Total buffered bytes (sum of chunk lengths), kept incrementally.
+    len: usize,
     /// Set when the peer endpoint closed: reads drain remaining bytes and
     /// then report EOF (an empty read).
     closed: bool,
+    /// Readers currently parked on the condvar (test synchronization
+    /// and diagnostics; replaces wall-clock sleeps in tests).
+    waiting_readers: usize,
 }
 
 /// One endpoint of a duplex in-kernel byte stream.
 ///
 /// Each endpoint owns the buffer of bytes flowing *toward* it; writing on
-/// an endpoint pushes into the peer's inbox.
+/// an endpoint pushes the written [`Buf`] into the peer's inbox without
+/// copying its payload.
 #[derive(Debug)]
 pub(crate) struct StreamEnd {
     inbox: Mutex<Inbox>,
     cv: Condvar,
     peer: OnceLock<Weak<StreamEnd>>,
-    notifier: Arc<Notifier>,
+    /// Epoll waiters interested in this endpoint's readability.
+    waiters: Arc<WaitSet>,
+    timing: Arc<ReadTiming>,
 }
 
 impl StreamEnd {
-    /// Creates a connected pair of endpoints sharing `notifier`.
-    pub fn pair(notifier: Arc<Notifier>) -> (Arc<StreamEnd>, Arc<StreamEnd>) {
-        let a = Arc::new(StreamEnd::new(notifier.clone()));
-        let b = Arc::new(StreamEnd::new(notifier));
+    /// Creates a connected pair of endpoints sharing `timing`.
+    pub fn pair(timing: Arc<ReadTiming>) -> (Arc<StreamEnd>, Arc<StreamEnd>) {
+        let a = Arc::new(StreamEnd::new(timing.clone()));
+        let b = Arc::new(StreamEnd::new(timing));
         a.peer.set(Arc::downgrade(&b)).expect("fresh endpoint");
         b.peer.set(Arc::downgrade(&a)).expect("fresh endpoint");
         (a, b)
     }
 
-    fn new(notifier: Arc<Notifier>) -> Self {
+    fn new(timing: Arc<ReadTiming>) -> Self {
         StreamEnd {
             inbox: Mutex::new(Inbox {
-                data: VecDeque::new(),
+                chunks: VecDeque::new(),
+                len: 0,
                 closed: false,
+                waiting_readers: 0,
             }),
             cv: Condvar::new(),
             peer: OnceLock::new(),
-            notifier,
+            waiters: Arc::new(WaitSet::new()),
+            timing,
         }
     }
 
@@ -92,61 +223,139 @@ impl StreamEnd {
         self.peer.get().and_then(Weak::upgrade)
     }
 
-    /// Writes `data` toward the peer. Fails with `ConnReset` if the peer
-    /// endpoint is gone or has closed its receiving side.
-    pub fn write(&self, data: &[u8]) -> OsResult<usize> {
+    /// The wait set an epoll instance registers with to be woken when
+    /// this endpoint becomes readable.
+    pub fn waiters(&self) -> &Arc<WaitSet> {
+        &self.waiters
+    }
+
+    /// Readers currently parked waiting for data (test synchronization).
+    pub fn waiting_readers(&self) -> usize {
+        self.inbox.lock().waiting_readers
+    }
+
+    /// Writes `data` toward the peer, sharing (not copying) the payload.
+    /// Fails with `ConnReset` if the peer endpoint is gone or has closed
+    /// its receiving side.
+    pub fn write(&self, data: Buf) -> OsResult<usize> {
         let peer = self.peer().ok_or(Errno::ConnReset)?;
+        let n = data.len();
         {
             let mut inbox = peer.inbox.lock();
             if inbox.closed {
                 return Err(Errno::ConnReset);
             }
-            inbox.data.extend(data.iter().copied());
+            if n > 0 {
+                inbox.len += n;
+                inbox.chunks.push_back(data);
+            }
             peer.cv.notify_all();
         }
-        self.notifier.bump();
-        Ok(data.len())
+        peer.waiters.wake();
+        Ok(n)
     }
 
     /// Reads up to `max` bytes, blocking until data is available, EOF, or
-    /// `timeout` (if given) elapses. An `Ok` empty vector means EOF.
-    pub fn read(&self, max: usize, timeout: Option<Duration>) -> OsResult<Vec<u8>> {
+    /// `timeout` (if given) elapses. An `Ok` empty buffer means EOF.
+    ///
+    /// The common case — the front chunk covers the request — returns a
+    /// slice of the writer's own allocation, zero-copy. A request that
+    /// spans chunks coalesces them with bulk copies.
+    pub fn read(&self, max: usize, timeout: Option<Duration>) -> OsResult<Buf> {
         if max == 0 {
-            return Ok(Vec::new());
+            return Ok(Buf::new());
         }
         let deadline = timeout.map(|t| std::time::Instant::now() + t);
         let mut inbox = self.inbox.lock();
+        let mut stall: Option<StallTimer> = None;
         loop {
-            if !inbox.data.is_empty() {
-                let n = max.min(inbox.data.len());
-                let out: Vec<u8> = inbox.data.drain(..n).collect();
+            if inbox.len > 0 {
+                let out = Self::take(&mut inbox, max);
+                drop(inbox);
+                if let Some(timer) = stall {
+                    self.timing.record(timer.elapsed_nanos());
+                }
                 return Ok(out);
             }
             if inbox.closed {
-                return Ok(Vec::new());
+                drop(inbox);
+                if let Some(timer) = stall {
+                    self.timing.record(timer.elapsed_nanos());
+                }
+                return Ok(Buf::new());
             }
-            match deadline {
-                None => self.cv.wait(&mut inbox),
+            if stall.is_none() {
+                stall = Some(StallTimer::start(&self.timing));
+            }
+            inbox.waiting_readers += 1;
+            let wait_result = match deadline {
+                None => {
+                    self.cv.wait(&mut inbox);
+                    Ok(())
+                }
                 Some(d) => {
                     let now = std::time::Instant::now();
                     if now >= d {
-                        return Err(Errno::TimedOut);
+                        Err(Errno::TimedOut)
+                    } else {
+                        let _ = self.cv.wait_for(&mut inbox, d - now);
+                        Ok(())
                     }
-                    let _ = self.cv.wait_for(&mut inbox, d - now);
                 }
+            };
+            inbox.waiting_readers -= 1;
+            if let Err(e) = wait_result {
+                drop(inbox);
+                if let Some(timer) = stall {
+                    self.timing.record(timer.elapsed_nanos());
+                }
+                return Err(e);
             }
         }
+    }
+
+    /// Removes exactly `min(max, buffered)` bytes from the inbox.
+    fn take(inbox: &mut Inbox, max: usize) -> Buf {
+        let n = max.min(inbox.len);
+        debug_assert!(n > 0);
+        let front_len = inbox.chunks.front().map(Buf::len).unwrap_or(0);
+        let out = if n < front_len {
+            // Partial front chunk: zero-copy sub-slice.
+            inbox.chunks.front_mut().expect("front checked").split_to(n)
+        } else if n == front_len {
+            // Whole front chunk: zero-copy hand-off.
+            inbox.chunks.pop_front().expect("front checked")
+        } else {
+            // Spans chunks: coalesce with bulk copies (the seed copied
+            // byte-at-a-time here).
+            let mut out = Vec::with_capacity(n);
+            let mut remaining = n;
+            while remaining > 0 {
+                let mut chunk = inbox.chunks.pop_front().expect("len accounted");
+                if chunk.len() <= remaining {
+                    remaining -= chunk.len();
+                    out.extend_from_slice(&chunk);
+                } else {
+                    out.extend_from_slice(&chunk.split_to(remaining));
+                    remaining = 0;
+                    inbox.chunks.push_front(chunk);
+                }
+            }
+            Buf::from_vec(out)
+        };
+        inbox.len -= n;
+        out
     }
 
     /// True when a read would not block: buffered bytes or EOF pending.
     pub fn readable(&self) -> bool {
         let inbox = self.inbox.lock();
-        !inbox.data.is_empty() || inbox.closed
+        inbox.len > 0 || inbox.closed
     }
 
     /// Number of buffered bytes waiting to be read from this endpoint.
     pub fn pending(&self) -> usize {
-        self.inbox.lock().data.len()
+        self.inbox.lock().len
     }
 
     /// Closes this endpoint: the peer sees EOF after draining, and local
@@ -157,12 +366,15 @@ impl StreamEnd {
             inbox.closed = true;
             self.cv.notify_all();
         }
+        self.waiters.wake();
         if let Some(peer) = self.peer() {
-            let mut inbox = peer.inbox.lock();
-            inbox.closed = true;
-            peer.cv.notify_all();
+            {
+                let mut inbox = peer.inbox.lock();
+                inbox.closed = true;
+                peer.cv.notify_all();
+            }
+            peer.waiters.wake();
         }
-        self.notifier.bump();
     }
 }
 
@@ -172,30 +384,90 @@ mod tests {
     use std::time::Duration;
 
     fn pair() -> (Arc<StreamEnd>, Arc<StreamEnd>) {
-        StreamEnd::pair(Arc::new(Notifier::new()))
+        StreamEnd::pair(Arc::new(ReadTiming::new()))
+    }
+
+    fn buf(data: &[u8]) -> Buf {
+        Buf::copy_from_slice(data)
+    }
+
+    /// Spins (yielding) until `end` has a parked reader — the
+    /// deterministic replacement for the seed's 20 ms sleep: the
+    /// waiting_readers counter is incremented under the inbox lock
+    /// immediately before the condvar park, so observing it guarantees
+    /// the reader cannot miss a subsequent notify.
+    fn await_reader(end: &StreamEnd) {
+        while end.waiting_readers() == 0 {
+            std::thread::yield_now();
+        }
     }
 
     #[test]
     fn write_then_read_round_trips() {
         let (a, b) = pair();
-        a.write(b"hello").unwrap();
+        a.write(buf(b"hello")).unwrap();
         assert_eq!(b.read(16, None).unwrap(), b"hello");
     }
 
     #[test]
     fn read_respects_max() {
         let (a, b) = pair();
-        a.write(b"abcdef").unwrap();
+        a.write(buf(b"abcdef")).unwrap();
         assert_eq!(b.read(2, None).unwrap(), b"ab");
         assert_eq!(b.read(16, None).unwrap(), b"cdef");
     }
 
     #[test]
+    fn read_spanning_chunks_coalesces() {
+        let (a, b) = pair();
+        a.write(buf(b"ab")).unwrap();
+        a.write(buf(b"cd")).unwrap();
+        a.write(buf(b"ef")).unwrap();
+        // Spans the first two chunks and half the third.
+        assert_eq!(b.read(5, None).unwrap(), b"abcde");
+        assert_eq!(b.read(16, None).unwrap(), b"f");
+    }
+
+    #[test]
+    fn whole_chunk_read_is_zero_copy() {
+        let (a, b) = pair();
+        let payload = buf(b"payload-bytes");
+        let src_ptr = payload.as_slice().as_ptr();
+        a.write(payload).unwrap();
+        let got = b.read(64, None).unwrap();
+        assert_eq!(got, b"payload-bytes");
+        assert_eq!(
+            got.as_slice().as_ptr(),
+            src_ptr,
+            "whole-chunk read must hand back the writer's allocation"
+        );
+    }
+
+    #[test]
+    fn partial_chunk_read_is_zero_copy() {
+        let (a, b) = pair();
+        let payload = buf(b"0123456789");
+        let src_ptr = payload.as_slice().as_ptr();
+        a.write(payload).unwrap();
+        let head = b.read(4, None).unwrap();
+        assert_eq!(head, b"0123");
+        assert_eq!(head.as_slice().as_ptr(), src_ptr, "front slice shares");
+        let tail = b.read(64, None).unwrap();
+        assert_eq!(tail, b"456789");
+        assert_eq!(
+            tail.as_slice().as_ptr(),
+            unsafe { src_ptr.add(4) },
+            "tail slice shares too"
+        );
+    }
+
+    #[test]
     fn read_blocks_until_written() {
         let (a, b) = pair();
-        let t = std::thread::spawn(move || b.read(8, None).unwrap());
-        std::thread::sleep(Duration::from_millis(20));
-        a.write(b"late").unwrap();
+        let b2 = b.clone();
+        let t = std::thread::spawn(move || b2.read(8, None).unwrap());
+        await_reader(&b);
+        a.write(buf(b"late")).unwrap();
         assert_eq!(t.join().unwrap(), b"late");
     }
 
@@ -209,7 +481,7 @@ mod tests {
     #[test]
     fn close_gives_eof_after_drain() {
         let (a, b) = pair();
-        a.write(b"tail").unwrap();
+        a.write(buf(b"tail")).unwrap();
         a.close();
         assert_eq!(b.read(16, None).unwrap(), b"tail");
         assert_eq!(b.read(16, None).unwrap(), Vec::<u8>::new());
@@ -219,14 +491,14 @@ mod tests {
     fn write_to_closed_peer_is_reset() {
         let (a, b) = pair();
         b.close();
-        assert_eq!(a.write(b"x").unwrap_err(), Errno::ConnReset);
+        assert_eq!(a.write(buf(b"x")).unwrap_err(), Errno::ConnReset);
     }
 
     #[test]
     fn readable_reflects_buffer_and_eof() {
         let (a, b) = pair();
         assert!(!b.readable());
-        a.write(b"x").unwrap();
+        a.write(buf(b"x")).unwrap();
         assert!(b.readable());
         let _ = b.read(1, None).unwrap();
         assert!(!b.readable());
@@ -235,19 +507,75 @@ mod tests {
     }
 
     #[test]
-    fn notifier_generation_bumps_on_write() {
-        let n = Arc::new(Notifier::new());
-        let (a, _b) = StreamEnd::pair(n.clone());
-        let g0 = n.current();
-        a.write(b"x").unwrap();
-        assert!(n.current() > g0);
+    fn empty_write_is_accepted_and_buffers_nothing() {
+        let (a, b) = pair();
+        assert_eq!(a.write(Buf::new()).unwrap(), 0);
+        assert_eq!(b.pending(), 0);
+        assert!(!b.readable());
     }
 
     #[test]
-    fn notifier_wait_change_times_out() {
-        let n = Notifier::new();
-        let g = n.current();
-        let g2 = n.wait_change(g, Duration::from_millis(5));
-        assert_eq!(g, g2);
+    fn waitset_wakes_only_registered_waiters() {
+        let (a, b) = pair();
+        let watcher = Arc::new(Notifier::default());
+        let bystander = Arc::new(Notifier::default());
+        b.waiters().register(&watcher);
+        assert_eq!(b.waiters().len(), 1);
+        let w0 = watcher.current();
+        let b0 = bystander.current();
+        a.write(buf(b"x")).unwrap();
+        assert!(watcher.current() > w0, "registered waiter woken");
+        assert_eq!(bystander.current(), b0, "unregistered notifier untouched");
+    }
+
+    #[test]
+    fn waitset_registration_is_idempotent_and_weak() {
+        let set = WaitSet::new();
+        let n = Arc::new(Notifier::default());
+        set.register(&n);
+        set.register(&n);
+        assert_eq!(set.len(), 1);
+        drop(n);
+        assert_eq!(set.len(), 0, "dead registrations fall out");
+    }
+
+    #[test]
+    fn blocked_read_stall_is_measured_through_injected_clock() {
+        let timing = Arc::new(ReadTiming::new());
+        let clock = Arc::new(obs::ManualClock::new());
+        timing.set_clock(clock.clone());
+        let (a, b) = StreamEnd::pair(timing.clone());
+        let b2 = b.clone();
+        let t = std::thread::spawn(move || b2.read(8, None).unwrap());
+        while b.waiting_readers() == 0 {
+            std::thread::yield_now();
+        }
+        clock.advance(1_500);
+        a.write(buf(b"x")).unwrap();
+        assert_eq!(t.join().unwrap(), b"x");
+        assert_eq!(timing.stalls(), 1);
+        assert_eq!(
+            timing.stall_nanos(),
+            1_500,
+            "stall time is exactly what the injected clock advanced"
+        );
+    }
+
+    #[test]
+    fn unblocked_read_records_no_stall() {
+        let timing = Arc::new(ReadTiming::new());
+        let (a, b) = StreamEnd::pair(timing.clone());
+        a.write(buf(b"ready")).unwrap();
+        let _ = b.read(8, None).unwrap();
+        assert_eq!(timing.stalls(), 0);
+        assert_eq!(timing.stall_nanos(), 0);
+    }
+
+    #[test]
+    fn timed_out_read_counts_as_a_stall() {
+        let timing = Arc::new(ReadTiming::new());
+        let (_a, b) = StreamEnd::pair(timing.clone());
+        let _ = b.read(8, Some(Duration::from_millis(5))).unwrap_err();
+        assert_eq!(timing.stalls(), 1);
     }
 }

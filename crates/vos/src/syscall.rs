@@ -1,5 +1,6 @@
 use std::fmt;
 
+use crate::buf::Buf;
 use crate::error::Errno;
 use crate::fd::Fd;
 use crate::fs::{FileStat, OpenMode};
@@ -18,7 +19,7 @@ pub enum Syscall {
     Accept { listener: Fd },
     Read { fd: Fd, max: usize },
     ReadTimeout { fd: Fd, max: usize, timeout_ms: u64 },
-    Write { fd: Fd, data: Vec<u8> },
+    Write { fd: Fd, data: Buf },
     Close { fd: Fd },
     EpollCreate,
     EpollCtl { ep: Fd, op: CtlOp, fd: Fd },
@@ -157,7 +158,7 @@ impl Syscall {
     /// heavily on write payloads, so this accessor is provided here.
     pub fn write_payload(&self) -> Option<&[u8]> {
         match self {
-            Syscall::Write { data, .. } => Some(data),
+            Syscall::Write { data, .. } => Some(data.as_slice()),
             _ => None,
         }
     }
@@ -167,7 +168,11 @@ impl fmt::Display for Syscall {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Syscall::Write { fd, data } => {
-                write!(f, "write(fd={fd}, {:?})", String::from_utf8_lossy(data))
+                write!(
+                    f,
+                    "write(fd={fd}, {:?})",
+                    String::from_utf8_lossy(data.as_slice())
+                )
             }
             other => write!(f, "{other:?}"),
         }
@@ -182,7 +187,7 @@ pub enum SysRet {
     Unit,
     Fd(Fd),
     Size(usize),
-    Data(Vec<u8>),
+    Data(Buf),
     Fds(Vec<Fd>),
     Stat(FileStat),
     Names(Vec<String>),
@@ -201,6 +206,74 @@ impl SysRet {
     pub fn as_err(&self) -> Option<Errno> {
         match self {
             SysRet::Err(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    // Borrowing accessors: event projection inspects one field of a
+    // logged return per projected value, so these must not clone the
+    // payload the way `into_*` (which consume `self`) would force.
+
+    /// The read payload, if this is a `Data` result.
+    pub fn as_data(&self) -> Option<&Buf> {
+        match self {
+            SysRet::Data(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The descriptor, if this is an `Fd` result.
+    pub fn as_fd(&self) -> Option<Fd> {
+        match self {
+            SysRet::Fd(fd) => Some(*fd),
+            _ => None,
+        }
+    }
+
+    /// The byte count, if this is a `Size` result.
+    pub fn as_size(&self) -> Option<usize> {
+        match self {
+            SysRet::Size(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The ready descriptors, if this is an `Fds` result.
+    pub fn as_fds(&self) -> Option<&[Fd]> {
+        match self {
+            SysRet::Fds(fds) => Some(fds),
+            _ => None,
+        }
+    }
+
+    /// The file metadata, if this is a `Stat` result.
+    pub fn as_stat(&self) -> Option<&FileStat> {
+        match self {
+            SysRet::Stat(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The directory entries, if this is a `Names` result.
+    pub fn as_names(&self) -> Option<&[String]> {
+        match self {
+            SysRet::Names(names) => Some(names),
+            _ => None,
+        }
+    }
+
+    /// The timestamp, if this is a `Time` result.
+    pub fn as_time(&self) -> Option<u64> {
+        match self {
+            SysRet::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// The process id, if this is a `Pid` result.
+    pub fn as_pid(&self) -> Option<u32> {
+        match self {
+            SysRet::Pid(p) => Some(*p),
             _ => None,
         }
     }
@@ -229,7 +302,7 @@ macro_rules! sysret_into {
 
 sysret_into!(into_fd, Fd, Fd);
 sysret_into!(into_size, Size, usize);
-sysret_into!(into_data, Data, Vec<u8>);
+sysret_into!(into_data, Data, Buf);
 sysret_into!(into_fds, Fds, Vec<Fd>);
 sysret_into!(into_stat, Stat, FileStat);
 sysret_into!(into_names, Names, Vec<String>);
@@ -304,10 +377,34 @@ mod tests {
     }
 
     #[test]
+    fn sysret_borrowing_accessors() {
+        let data = SysRet::Data(Buf::from_vec(b"abc".to_vec()));
+        assert_eq!(data.as_data().unwrap(), b"abc");
+        assert!(
+            data.as_data().unwrap().ptr_eq(data.as_data().unwrap()),
+            "borrowing twice views the same allocation"
+        );
+        assert_eq!(data.as_size(), None);
+        assert_eq!(SysRet::Fd(Fd::from_raw(7)).as_fd(), Some(Fd::from_raw(7)));
+        assert_eq!(SysRet::Size(9).as_size(), Some(9));
+        assert_eq!(
+            SysRet::Fds(vec![Fd::from_raw(1)]).as_fds(),
+            Some(&[Fd::from_raw(1)][..])
+        );
+        assert_eq!(
+            SysRet::Names(vec!["a".into()]).as_names(),
+            Some(&["a".to_string()][..])
+        );
+        assert_eq!(SysRet::Time(5).as_time(), Some(5));
+        assert_eq!(SysRet::Pid(42).as_pid(), Some(42));
+        assert_eq!(SysRet::Err(Errno::BadFd).as_data(), None);
+    }
+
+    #[test]
     fn write_payload_accessor() {
         let w = Syscall::Write {
             fd: Fd::from_raw(4),
-            data: b"hi".to_vec(),
+            data: Buf::from(b"hi"),
         };
         assert_eq!(w.write_payload(), Some(&b"hi"[..]));
         assert_eq!(Syscall::Now.write_payload(), None);
@@ -317,7 +414,7 @@ mod tests {
     fn display_shows_write_payload_as_text() {
         let w = Syscall::Write {
             fd: Fd::from_raw(4),
-            data: b"PING\r\n".to_vec(),
+            data: Buf::from(b"PING\r\n"),
         };
         let s = format!("{w}");
         assert!(s.contains("PING"), "{s}");

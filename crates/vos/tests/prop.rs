@@ -115,7 +115,7 @@ proptest! {
         loop {
             match kernel.read(server, read_size, Some(Duration::from_secs(5))) {
                 Ok(data) if data.is_empty() => break,
-                Ok(data) => got.extend(data),
+                Ok(data) => got.extend_from_slice(&data),
                 Err(e) => prop_assert!(false, "read failed: {e}"),
             }
         }

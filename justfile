@@ -55,6 +55,7 @@ ci:
     just lint-rules
     just chaos-smoke
     just bench-ring-smoke
+    just bench-vos-smoke
 
 # Ring microbenchmark, full mode: rewrites BENCH_ring.json in place.
 bench-ring:
@@ -63,3 +64,12 @@ bench-ring:
 # Quick ring bench gated against the committed baseline (what CI runs).
 bench-ring-smoke:
     cargo run --release -p mvedsua-bench --bin ring_bench -- --quick --out /tmp/BENCH_ring.quick.json --check BENCH_ring.json
+
+# Data-plane benchmark, full mode: rewrites BENCH_vos.json in place.
+bench-vos:
+    cargo run --release -p mvedsua-bench --bin vos_bench
+
+# Quick data-plane bench gated against the committed baseline plus the
+# 2x-over-legacy floor at 4 KiB+ (what CI runs).
+bench-vos-smoke:
+    cargo run --release -p mvedsua-bench --bin vos_bench -- --quick --out /tmp/BENCH_vos.quick.json --check BENCH_vos.json
